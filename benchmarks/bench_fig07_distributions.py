@@ -1,0 +1,9 @@
+"""Regenerate Fig. 7 (community statistic distributions)."""
+
+from repro.bench.cli import main
+
+
+def test_fig07_distributions(regen):
+    """Fig. 7 (community statistic distributions): prints the paper's rows/series and writes
+    benchmarks/out/fig07_distributions.txt."""
+    assert regen(lambda: main(["fig7"])) == 0

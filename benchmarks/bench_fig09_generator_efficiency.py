@@ -1,0 +1,25 @@
+"""Regenerate Fig. 9: generation trials and edge throughput for FFT-DG
+vs LDBC-DG across density factors alpha in {1, 10, 100, 1000}."""
+
+from repro.bench.cli import main
+from repro.bench.genquality import efficiency_sweep
+
+
+def test_fig09_generator_efficiency(regen):
+    """The paper's headline efficiency claims: FFT-DG needs ~1.5 trials
+    per edge at every alpha; matched-density LDBC-DG needs >8 and
+    generates edges ~2x slower."""
+
+    def _run():
+        rows = efficiency_sweep()
+        main(["fig9"])
+        return rows
+
+    rows = regen(_run)
+    assert len(rows) == 4
+    for row in rows:
+        assert row["fft_trials_per_edge"] < 1.6
+        assert row["ldbc_trials_per_edge"] > row["fft_trials_per_edge"]
+        assert row["fft_edges_per_s"] > 2.0 * row["ldbc_edges_per_s"]
+    sparse_rows = [r for r in rows if r["alpha"] <= 100]
+    assert all(r["ldbc_trials_per_edge"] > 8.0 for r in sparse_rows)

@@ -1,0 +1,56 @@
+"""Regenerate Fig. 10: running time of all eight algorithms on every
+platform over S8-Std / S8-Dense / S8-Diam."""
+
+from repro.bench.cli import main
+from repro.bench.performance import algorithm_impact
+
+
+def _index(outcomes):
+    return {
+        (oc.algorithm, oc.platform, oc.dataset): oc
+        for oc in outcomes
+    }
+
+
+def test_fig10_algorithm_impact(regen):
+    """Checks the paper's Section 8.2 narratives hold in the grid."""
+
+    def _run():
+        outcomes = algorithm_impact()
+        main(["fig10"])
+        return outcomes
+
+    outcomes = regen(_run)
+    grid = _index(outcomes)
+
+    # Coverage: 49 of 56 platform x algorithm cases run (per dataset).
+    ok = [oc for oc in outcomes if oc.dataset == "S8-Std"
+          and oc.status in ("ok", "oom")]
+    unsupported = [oc for oc in outcomes if oc.dataset == "S8-Std"
+                   and oc.status == "unsupported"]
+    assert len(ok) == 49
+    assert len(unsupported) == 7
+
+    def seconds(algo, plat, ds):
+        return grid[(algo, plat, ds)].seconds
+
+    # Iterative algorithms: faster on Dense, insensitive to Diam.
+    for plat in ("Flash", "Pregel+", "Ligra"):
+        assert seconds("pr", plat, "S8-Dense") < seconds("pr", plat, "S8-Std")
+
+    # Sequential algorithms: slower on Diam for diameter-sensitive models.
+    for plat in ("Pregel+", "Ligra"):
+        assert seconds("wcc", plat, "S8-Diam") > seconds("wcc", plat, "S8-Std")
+
+    # Subgraph algorithms: TC slower on Dense everywhere that runs it.
+    for plat in ("Flash", "Grape", "Ligra", "G-thinker"):
+        assert seconds("tc", plat, "S8-Dense") > seconds("tc", plat, "S8-Std")
+
+    # Red-bar cases promoted to 16 machines.
+    assert grid[("kc", "GraphX", "S8-Std")].red_bar
+    assert grid[("tc", "Pregel+", "S8-Std")].red_bar
+
+    # GraphX is the slowest platform on PR (Spark/RDD overhead).
+    gx = seconds("pr", "GraphX", "S8-Std")
+    for plat in ("PowerGraph", "Flash", "Grape", "Pregel+", "Ligra"):
+        assert gx > seconds("pr", plat, "S8-Std")

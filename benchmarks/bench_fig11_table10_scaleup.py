@@ -1,0 +1,34 @@
+"""Regenerate Fig. 11 / Table 10: thread scale-up on a single machine
+(1–32 threads) for PR, SSSP, and TC on the S8 datasets."""
+
+from repro.bench.cli import main
+from repro.bench.performance import scale_up_curves, speedup_table
+
+
+def test_fig11_table10_scaleup(regen):
+    """The paper's Table 10 ordering: Grape/Pregel+/Ligra scale best
+    (~25-32x), Flash mid (~8x), PowerGraph (~5x), GraphX worst."""
+
+    def _run():
+        curves = scale_up_curves()
+        main(["fig11"])
+        return speedup_table(curves)
+
+    table = regen(_run)
+    pr = table[("pr", "S8-Std")]
+    assert pr["Grape"] > 20
+    assert pr["Pregel+"] > 20
+    assert pr["Ligra"] > 20
+    assert 3 < pr["PowerGraph"] < 9
+    assert 5 < pr["Flash"] < 12
+    assert pr["GraphX"] == min(pr.values())
+
+    # Sequential algorithms scale worse than iterative ones.
+    sssp = table[("sssp", "S8-Std")]
+    assert sssp["Grape"] < pr["Grape"]
+
+    # GraphX TC is excluded from the sweep (Section 8.3).
+    assert "GraphX" not in table[("tc", "S8-Std")]
+    # G-thinker appears only in the TC rows.
+    assert "G-thinker" in table[("tc", "S8-Std")]
+    assert "G-thinker" not in pr

@@ -1,0 +1,39 @@
+"""Regenerate Fig. 13 / Table 12: multi-level usability scores and the
+Spearman validation against the human panel."""
+
+from repro.bench.cli import main
+from repro.bench.usability_exp import run_usability_experiment
+from repro.usability import PromptLevel
+
+
+def test_fig13_table12_usability(regen):
+    """Fig. 13's shapes: GraphX tops every level, Grape is hardest for
+    juniors, scores rise with expertise, and the framework's ranking
+    correlates with the human panel (paper: rho 0.75 / 0.71)."""
+
+    def _run():
+        experiment = run_usability_experiment()
+        main(["fig13"])
+        return experiment
+
+    experiment = regen(_run)
+
+    for level in PromptLevel:
+        ranking = experiment.ranking(level)
+        assert ranking[0] == "GraphX", level
+
+    # Fig. 13's junior story: Grape's steep learning curve and the
+    # traversal-abstraction platforms (Flash/Ligra/G-thinker) sit at the
+    # bottom for juniors.
+    junior = experiment.overall(PromptLevel.JUNIOR)
+    worst = min(junior, key=junior.get)
+    assert worst in ("Grape", "G-thinker", "Ligra")
+    assert junior["Grape"] < junior["GraphX"] - 5
+
+    for platform in ("GraphX", "Grape", "Flash"):
+        scores = [experiment.overall(level)[platform]
+                  for level in PromptLevel]
+        assert scores == sorted(scores), platform
+
+    for level, validation in experiment.validations.items():
+        assert validation.rho >= 0.6, level

@@ -1,0 +1,34 @@
+"""Regenerate Fig. 14: the comprehensive per-metric comparison and the
+overall platform ranking (the Section 9 selection guide)."""
+
+from repro.bench.cli import main
+from repro.bench.selection import FIG14_METRICS, build_selection_guide
+
+
+def test_fig14_selection_guide(regen):
+    """The paper's top platforms (Pregel+ and Grape, in some order) must
+    lead; Grape must have the weakest usability among the leaders and
+    GraphX the best usability overall."""
+
+    def _run():
+        guide = build_selection_guide()
+        main(["fig14"])
+        return guide
+
+    guide = regen(_run)
+    assert set(guide.ranking[:2]) == {"Grape", "Pregel+"}
+
+    assert guide.metrics["GraphX"]["compliance"] == 1.0
+    assert guide.metrics["GraphX"]["correctness"] == 1.0
+
+    leaders = guide.ranking[:2]
+    usability = {
+        name: guide.metrics[name]["compliance"]
+        + guide.metrics[name]["correctness"]
+        for name in leaders
+    }
+    assert usability["Grape"] <= usability["Pregel+"]
+
+    for name in guide.ranking:
+        for metric in FIG14_METRICS:
+            assert 0.0 <= guide.metrics[name][metric] <= 1.0

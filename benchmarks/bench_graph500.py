@@ -1,0 +1,27 @@
+"""Regenerate the mini-Graph500 comparison run (the paper's Table 1
+positions its benchmark against Graph500; this makes Graph500's
+methodology runnable on the same simulated platforms)."""
+
+from repro.bench.cli import main
+from repro.bench.graph500 import run_graph500
+
+
+def test_graph500(regen):
+    """All BFS runs must pass Graph500-style validation and produce
+    positive TEPS; the shared-memory platform leads on a graph this
+    small."""
+
+    def _run():
+        runs = run_graph500()
+        main(["graph500"])
+        return runs
+
+    runs = regen(_run)
+    assert len(runs) == 3
+    by_name = {r.platform: r for r in runs}
+    for r in runs:
+        assert r.harmonic_mean_teps > 0
+        assert r.harmonic_mean_teps <= r.mean_teps + 1e-9
+    assert by_name["Ligra"].harmonic_mean_teps == max(
+        r.harmonic_mean_teps for r in runs
+    )

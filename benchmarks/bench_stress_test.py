@@ -1,0 +1,22 @@
+"""Regenerate the stress test (Table 7 row): the largest dataset each
+platform can process on the 16-machine cluster."""
+
+from repro.bench.cli import main
+from repro.bench.performance import stress_test
+
+
+def test_stress_test(regen):
+    """GraphX's replicated RDDs and Ligra's single machine cap them at
+    S9.5; the lean C++ distributed platforms reach S10."""
+
+    def _run():
+        results = stress_test()
+        main(["stress"])
+        return results
+
+    results = regen(_run)
+    assert results["GraphX"]["S9.5-Std"] == "ok"
+    assert results["GraphX"]["S10-Std"] == "oom"
+    assert results["Ligra"]["S10-Std"] == "oom"
+    for name in ("PowerGraph", "Flash", "Grape", "Pregel+"):
+        assert results[name]["S10-Std"] == "ok", name

@@ -1,0 +1,30 @@
+"""Regenerate Table 1: the benchmark landscape with a measured
+representative workload per benchmark."""
+
+from repro.bench.cli import main
+from repro.bench.landscape import run_landscape
+
+
+def test_table01_landscape(regen):
+    """Only this paper's benchmark controls density+diameter and has a
+    usability axis; every other benchmark's sample must still run."""
+
+    def _run():
+        profiles = run_landscape()
+        main(["table1"])
+        return profiles
+
+    profiles = regen(_run)
+    by_name = {p.name: p for p in profiles}
+    assert set(by_name) == {
+        "Graph500", "WGB", "BigDataBench", "LDBC Graphalytics", "Ours"
+    }
+    assert by_name["Ours"].usability_axis
+    assert all(not p.usability_axis for n, p in by_name.items() if n != "Ours")
+    assert "diameter" in by_name["Ours"].controls
+    assert all("diameter" not in p.controls
+               for n, p in by_name.items() if n != "Ours")
+    assert by_name["Graph500"].sample["bfs_harmonic_teps"] > 0
+    assert by_name["Ours"].sample["algorithms_run"] == 8
+    assert by_name["Ours"].sample["suite_seconds"] > \
+        by_name["LDBC Graphalytics"].sample["suite_seconds"] * 0.5

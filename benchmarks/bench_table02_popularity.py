@@ -1,0 +1,9 @@
+"""Regenerate Table 2 (algorithm popularity)."""
+
+from repro.bench.cli import main
+
+
+def test_table02_popularity(regen):
+    """Table 2 (algorithm popularity): prints the paper's rows/series and writes
+    benchmarks/out/table02_popularity.txt."""
+    assert regen(lambda: main(["table2"])) == 0

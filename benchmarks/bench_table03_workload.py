@@ -1,0 +1,9 @@
+"""Regenerate Table 3 (workload and topics)."""
+
+from repro.bench.cli import main
+
+
+def test_table03_workload(regen):
+    """Table 3 (workload and topics): prints the paper's rows/series and writes
+    benchmarks/out/table03_workload.txt."""
+    assert regen(lambda: main(["table3"])) == 0

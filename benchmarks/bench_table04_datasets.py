@@ -1,0 +1,9 @@
+"""Regenerate Table 4 (synthetic dataset catalog)."""
+
+from repro.bench.cli import main
+
+
+def test_table04_datasets(regen):
+    """Table 4 (synthetic dataset catalog): prints the paper's rows/series and writes
+    benchmarks/out/table04_datasets.txt."""
+    assert regen(lambda: main(["table4"])) == 0

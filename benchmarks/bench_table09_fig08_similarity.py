@@ -1,0 +1,26 @@
+"""Regenerate Table 9 / Fig. 8: PR and SSSP running times on the
+LiveJournal surrogate vs same-size FFT-DG and LDBC-DG graphs, across the
+six platforms that support them."""
+
+from repro.bench.cli import main
+from repro.bench.genquality import build_similarity_graphs, runtime_similarity
+
+
+def test_table09_fig08_similarity(regen):
+    """FFT-DG's runtimes must track the real graph's at least as well as
+    LDBC-DG's on most platforms (Table 9: within ~25% except Ligra)."""
+
+    def _run():
+        sim = runtime_similarity(build_similarity_graphs())
+        main(["table9"])
+        return sim
+
+    sim = regen(_run)
+    assert set(sim) == {"pr", "sssp"}
+    for algorithm, per_platform in sim.items():
+        assert len(per_platform) == 6, algorithm
+        fft_better = sum(
+            1 for row in per_platform.values()
+            if row["fft_rel_diff"] <= row["ldbc_rel_diff"] + 0.05
+        )
+        assert fft_better >= 4, (algorithm, per_platform)

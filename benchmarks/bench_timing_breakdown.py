@@ -1,0 +1,25 @@
+"""Regenerate the Table-5 timing breakdown: upload time, running time,
+and makespan per platform."""
+
+from repro.bench.cli import main
+from repro.bench.performance import timing_breakdown_table
+
+
+def test_timing_breakdown(regen):
+    """Makespan must decompose correctly and GraphX must pay the largest
+    ingestion cost (replicated RDD load at the slowest upload rate)."""
+
+    def _run():
+        rows = timing_breakdown_table()
+        main(["timing"])
+        return rows
+
+    rows = regen(_run)
+    ok = {r["platform"]: r for r in rows if r["status"] == "ok"}
+    assert len(ok) >= 6
+    for r in ok.values():
+        assert r["upload_s"] > 0
+        assert r["makespan_s"] > r["run_s"]
+        assert abs(r["makespan_s"]
+                   - (r["upload_s"] + r["run_s"] + r["writeback_s"])) < 1e-9
+    assert ok["GraphX"]["upload_s"] == max(r["upload_s"] for r in ok.values())

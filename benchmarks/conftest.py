@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper artifact (table or figure), printing the
+rows/series and writing them under ``benchmarks/out/``.  Regeneration runs
+once per session (rounds=1): the quantity of interest is the artifact, not
+the harness's own wall-clock.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _bench_out_dir():
+    out = pathlib.Path(__file__).parent / "out"
+    out.mkdir(exist_ok=True)
+    os.environ.setdefault("REPRO_BENCH_OUT", str(out))
+    yield
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an artifact regeneration exactly once under the benchmark."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

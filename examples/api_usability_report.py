@@ -1,0 +1,54 @@
+"""API usability report: the paper's Section 5 framework end to end.
+
+Instruction-tunes a simulated code generator per platform, generates
+code at four expertise levels, scores it on compliance / correctness /
+readability, and validates the ranking against the published human
+panel via Spearman's rho.
+
+Run with:  python examples/api_usability_report.py
+"""
+
+from repro.bench.reporting import render_table
+from repro.usability import (
+    API_SPECS,
+    PromptLevel,
+    evaluate_usability,
+    instruction_tune,
+    validate_against_humans,
+)
+
+
+def show_generated_code_sample() -> None:
+    """Peek at what the simulated junior 'programmer' writes for Grape."""
+    generator = instruction_tune("Grape")
+    sample = generator.generate("pr", PromptLevel.JUNIOR, seed=0)
+    print("--- junior-level generated code for Grape / PageRank ---")
+    print(sample.code)
+    print(f"defects injected: {sample.defects}\n")
+
+
+def score_grid() -> None:
+    rows = []
+    scores_by_level: dict[PromptLevel, dict[str, float]] = {}
+    for name in API_SPECS:
+        cells = [name]
+        for level in PromptLevel:
+            score = evaluate_usability(name, level, repetitions=8)
+            cells.append(f"{score.overall:.1f}")
+            scores_by_level.setdefault(level, {})[name] = score.overall
+        rows.append(cells)
+    print(render_table(
+        "Usability scores (compliance 35% / correctness 35% / "
+        "readability 30%)",
+        ["Platform", *[level.name.title() for level in PromptLevel]],
+        rows,
+    ))
+    for level in (PromptLevel.INTERMEDIATE, PromptLevel.SENIOR):
+        result = validate_against_humans(scores_by_level[level], level)
+        print(f"Spearman vs human panel at {level.name}: {result.rho:.3f}")
+        print(f"  framework ranking: {' > '.join(result.llm_ranking)}")
+
+
+if __name__ == "__main__":
+    show_generated_code_sample()
+    score_grid()

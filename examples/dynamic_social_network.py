@@ -1,0 +1,46 @@
+"""Dynamic social network: incremental analytics over an edge stream.
+
+Simulates a growing social network (FFT-DG edges arriving in batches,
+the WGB-style workload) and maintains connectivity and PageRank
+incrementally, comparing the work against per-batch recomputation.
+
+Run with:  python examples/dynamic_social_network.py
+"""
+
+from repro.algorithms.incremental import IncrementalPageRank, IncrementalWCC
+from repro.bench.reporting import render_table
+from repro.datagen.dynamic import generate_stream
+
+
+def main() -> None:
+    stream = generate_stream(3000, num_batches=12, alpha=25.0, seed=8)
+    print(f"Edge stream: {stream.total_edges} edges over "
+          f"{len(stream)} batches on {stream.num_vertices} users\n")
+
+    wcc = IncrementalWCC(stream.num_vertices)
+    ranks = IncrementalPageRank(stream.num_vertices, tolerance=1e-10)
+    rows = []
+    for t, batch in enumerate(stream):
+        merges = wcc.apply_batch(batch)
+        snapshot = stream.snapshot(t)
+        ranks.update(snapshot)
+        cold = IncrementalPageRank(stream.num_vertices, tolerance=1e-10)
+        cold.update(snapshot, cold_start=True)
+        rows.append([
+            t, batch.size, merges, wcc.num_components,
+            ranks.last_iterations, cold.last_iterations,
+        ])
+    print(render_table(
+        "Per-batch incremental maintenance",
+        ["Batch", "Edges", "Merges", "Components",
+         "PR iters (warm)", "PR iters (cold)"],
+        rows,
+    ))
+
+    top = ranks.ranks.argsort()[-3:][::-1]
+    print("Most influential users at the end of the stream:",
+          ", ".join(f"#{v} ({ranks.ranks[v]:.2e})" for v in top))
+
+
+if __name__ == "__main__":
+    main()

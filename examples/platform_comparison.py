@@ -1,0 +1,50 @@
+"""Platform comparison: a miniature version of the paper's Fig. 10.
+
+Runs one algorithm from each class (iterative / sequential / subgraph)
+on every platform over the three S8 dataset variants and prints who wins
+where — the benchmark's core use case for platform selection.
+
+Run with:  python examples/platform_comparison.py
+"""
+
+from repro.bench.reporting import render_table
+from repro.bench.runner import run_case
+from repro.platforms import platform_names
+
+
+ALGORITHMS = {
+    "pr": "iterative",
+    "sssp": "sequential",
+    "tc": "subgraph",
+}
+DATASETS = ("S8-Std", "S8-Dense", "S8-Diam")
+
+
+def main() -> None:
+    for algorithm, klass in ALGORITHMS.items():
+        rows = []
+        winners = {}
+        for name in platform_names():
+            cells = [name]
+            for dataset in DATASETS:
+                outcome = run_case(name, algorithm, dataset)
+                if outcome.status == "ok":
+                    cells.append(f"{outcome.seconds:.2f}s")
+                    best = winners.get(dataset)
+                    if best is None or outcome.seconds < best[1]:
+                        winners[dataset] = (name, outcome.seconds)
+                else:
+                    cells.append(outcome.status)
+            rows.append(cells)
+        print(render_table(
+            f"{algorithm.upper()} ({klass} class), simulated seconds",
+            ["Platform", *DATASETS],
+            rows,
+        ))
+        for dataset, (name, seconds) in winners.items():
+            print(f"  fastest on {dataset}: {name} ({seconds:.2f}s)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

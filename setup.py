@@ -1,0 +1,19 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so ``pip install -e . --no-use-pep517`` works on offline
+environments that lack the ``wheel`` package (legacy editable installs
+go through ``setup.py develop``, which does not build a wheel).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+    entry_points={"console_scripts": ["repro-bench = repro.bench.cli:main"]},
+)

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Revisiting Graph Analytics Benchmark" (SIGMOD 2025).
+
+Top-level packages:
+
+* :mod:`repro.core` — CSR graph container, statistics, communities,
+  distribution distances, partitioners.
+* :mod:`repro.datagen` — FFT-DG (the paper's failure-free-trial generator),
+  LDBC-DG, classic generators, and the S8–S10 dataset catalog.
+* :mod:`repro.cluster` — the simulated cluster and its cost model.
+* :mod:`repro.platforms` — vertex-, edge-, block-, and subgraph-centric
+  engines with seven platform personalities.
+* :mod:`repro.algorithms` — the eight core algorithms (reference kernels
+  and per-platform implementations) plus the LDBC comparison algorithms.
+* :mod:`repro.usability` — the multi-level simulated-LLM API usability
+  evaluation framework.
+* :mod:`repro.bench` — the experiment executor and per-table/figure
+  regenerators.
+"""
+
+from repro.core import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["Graph", "__version__"]

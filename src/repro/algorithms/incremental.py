@@ -1,0 +1,142 @@
+"""Incremental algorithms over dynamic graph streams.
+
+Companions to :mod:`repro.datagen.dynamic`: maintain results across
+edge-insertion batches far cheaper than recomputation.
+
+* :class:`IncrementalWCC` — union-find maintained across batches
+  (insert-only connectivity is the textbook incremental case; Grape's
+  IncEval does exactly this, Section 8.2).
+* :class:`IncrementalPageRank` — warm-started power iteration: each
+  batch resumes from the previous ranks and converges in a fraction of
+  the cold-start iterations.
+
+Both expose work counters so the incremental-vs-recompute benefit is
+measurable, and both are validated against full recomputation in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.datagen.dynamic import DynamicGraphStream, EdgeBatch
+from repro.errors import GeneratorParameterError
+
+__all__ = ["IncrementalWCC", "IncrementalPageRank"]
+
+
+class IncrementalWCC:
+    """Connected components under edge insertions via union-find."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self._parent = np.arange(num_vertices, dtype=np.int64)
+        self.operations = 0          # find/union steps performed
+        self.num_components = num_vertices
+
+    def _find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = int(self._parent[root])
+            self.operations += 1
+        while self._parent[x] != root:
+            self._parent[x], x = root, int(self._parent[x])
+        return root
+
+    def apply_batch(self, batch: EdgeBatch) -> int:
+        """Insert a batch; returns how many merges it caused."""
+        merges = 0
+        for a, b in zip(batch.src.tolist(), batch.dst.tolist()):
+            self.operations += 1
+            ra, rb = self._find(a), self._find(b)
+            if ra != rb:
+                self._parent[max(ra, rb)] = min(ra, rb)
+                self.num_components -= 1
+                merges += 1
+        return merges
+
+    def labels(self) -> np.ndarray:
+        """Component label per vertex (minimum member id)."""
+        n = self._parent.shape[0]
+        return np.fromiter(
+            (self._find(v) for v in range(n)), dtype=np.int64, count=n
+        )
+
+
+class IncrementalPageRank:
+    """Warm-started PageRank over a growing graph.
+
+    ``update(graph)`` iterates to ``tolerance`` starting from the
+    previous ranks; after a small batch of insertions, far fewer
+    iterations are needed than from the uniform cold start.
+    """
+
+    def __init__(self, num_vertices: int, *, damping: float = 0.85,
+                 tolerance: float = 1e-8, max_iterations: int = 200) -> None:
+        if not 0.0 <= damping <= 1.0:
+            raise GeneratorParameterError(
+                f"damping must be in [0, 1], got {damping}"
+            )
+        self.damping = damping
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.ranks = np.full(num_vertices,
+                             1.0 / num_vertices if num_vertices else 0.0)
+        self.last_iterations = 0
+
+    def update(self, graph: Graph, *, cold_start: bool = False) -> np.ndarray:
+        """Re-converge on ``graph``; returns the new ranks.
+
+        ``cold_start=True`` resets to the uniform vector first (the
+        recompute baseline the warm start is measured against).
+        """
+        n = graph.num_vertices
+        if n != self.ranks.shape[0]:
+            raise GeneratorParameterError(
+                f"graph has {n} vertices, tracker has {self.ranks.shape[0]}"
+            )
+        ranks = np.full(n, 1.0 / n) if cold_start else self.ranks.copy()
+        out_deg = graph.out_degrees().astype(np.float64)
+        dangling = out_deg == 0
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        dst = graph.indices
+        base = (1.0 - self.damping) / n
+
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            contrib = np.where(dangling, 0.0,
+                               ranks / np.maximum(out_deg, 1.0))
+            new_ranks = np.full(n, base)
+            np.add.at(new_ranks, dst, self.damping * contrib[src])
+            new_ranks += self.damping * ranks[dangling].sum() / n
+            delta = np.abs(new_ranks - ranks).sum()
+            ranks = new_ranks
+            if delta < self.tolerance:
+                break
+        self.ranks = ranks
+        self.last_iterations = iterations
+        return ranks
+
+
+def replay_stream_wcc(stream: DynamicGraphStream) -> dict[str, float]:
+    """Process a stream with incremental WCC vs per-batch recomputation.
+
+    Returns the work counters of both strategies; the incremental one is
+    validated against the recomputation inside.
+    """
+    from repro.algorithms.reference import wcc
+
+    tracker = IncrementalWCC(stream.num_vertices)
+    recompute_ops = 0.0
+    for t, batch in enumerate(stream):
+        tracker.apply_batch(batch)
+        snapshot = stream.snapshot(t)
+        # recompute cost model: one pass over all edges + vertices
+        recompute_ops += snapshot.num_edges + snapshot.num_vertices
+    final = stream.final_graph()
+    if not np.array_equal(tracker.labels(), wcc(final)):
+        raise AssertionError("incremental WCC diverged from recomputation")
+    return {
+        "incremental_ops": float(tracker.operations),
+        "recompute_ops": float(recompute_ops),
+        "final_components": float(tracker.num_components),
+    }

@@ -1,0 +1,45 @@
+"""Sequential reference kernels — the ground truth every platform
+implementation is validated against.
+
+One module per core algorithm (PR, SSSP, WCC, LPA, BC, CD, TC, KC) plus
+the LDBC comparison kernels (BFS, LCC).
+"""
+
+from repro.algorithms.reference.pagerank import pagerank
+from repro.algorithms.reference.sssp import bellman_ford, dijkstra
+from repro.algorithms.reference.wcc import component_sizes, wcc, wcc_union_find
+from repro.algorithms.reference.lpa import label_propagation
+from repro.algorithms.reference.bc import (
+    betweenness_centrality,
+    betweenness_from_source,
+)
+from repro.algorithms.reference.core_decomposition import (
+    core_decomposition,
+    degeneracy_order,
+    k_core,
+)
+from repro.algorithms.reference.triangles import per_vertex_triangles, triangle_count
+from repro.algorithms.reference.kclique import enumerate_k_cliques, k_clique_count
+from repro.algorithms.reference.extras import bfs, k_hop, local_clustering_coefficient
+
+__all__ = [
+    "pagerank",
+    "dijkstra",
+    "bellman_ford",
+    "wcc",
+    "wcc_union_find",
+    "component_sizes",
+    "label_propagation",
+    "betweenness_from_source",
+    "betweenness_centrality",
+    "core_decomposition",
+    "degeneracy_order",
+    "k_core",
+    "triangle_count",
+    "per_vertex_triangles",
+    "k_clique_count",
+    "enumerate_k_cliques",
+    "bfs",
+    "k_hop",
+    "local_clustering_coefficient",
+]

@@ -1,0 +1,109 @@
+"""Reference betweenness centrality kernels (sequential class).
+
+Brandes' algorithm: forward BFS (or Dijkstra for weighted graphs)
+computing shortest-path counts, then backward dependency accumulation.
+The benchmark runs the single-source variant from vertex 0 (Section 7.2);
+the full all-sources O(n*m) algorithm is also provided for library users
+and for the exactness tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import GraphStructureError
+
+__all__ = ["betweenness_from_source", "betweenness_centrality"]
+
+
+def betweenness_from_source(graph: Graph, source: int) -> np.ndarray:
+    """Brandes dependency scores of one source (the benchmark's BC task).
+
+    ``delta[v]`` is the sum over targets ``t`` of the fraction of shortest
+    ``source → t`` paths passing through ``v``.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise GraphStructureError(f"source {source} out of range [0, {n})")
+    order, predecessors, sigma = _shortest_path_dag(graph, source)
+    delta = np.zeros(n, dtype=np.float64)
+    for v in reversed(order):
+        for p in predecessors[v]:
+            delta[p] += sigma[p] / sigma[v] * (1.0 + delta[v])
+    delta[source] = 0.0
+    return delta
+
+
+def betweenness_centrality(graph: Graph, *, normalized: bool = False) -> np.ndarray:
+    """Exact all-sources betweenness (Brandes, O(n*m) unweighted).
+
+    For undirected graphs each pair is counted twice by the source loop,
+    so scores are halved, matching the standard definition.
+    """
+    n = graph.num_vertices
+    centrality = np.zeros(n, dtype=np.float64)
+    for s in range(n):
+        centrality += betweenness_from_source(graph, s)
+    if not graph.directed:
+        centrality /= 2.0
+    if normalized and n > 2:
+        scale = (n - 1) * (n - 2)
+        if not graph.directed:
+            scale /= 2.0
+        centrality /= scale
+    return centrality
+
+
+def _shortest_path_dag(
+    graph: Graph, source: int
+) -> tuple[list[int], list[list[int]], np.ndarray]:
+    """Shortest-path DAG: visit order, predecessor lists, path counts."""
+    n = graph.num_vertices
+    sigma = np.zeros(n, dtype=np.float64)
+    sigma[source] = 1.0
+    predecessors: list[list[int]] = [[] for _ in range(n)]
+    order: list[int] = []
+
+    if graph.is_weighted:
+        dist = np.full(n, np.inf)
+        dist[source] = 0.0
+        seen: list[tuple[float, int]] = [(0.0, source)]
+        finished = np.zeros(n, dtype=bool)
+        while seen:
+            d, v = heapq.heappop(seen)
+            if finished[v]:
+                continue
+            finished[v] = True
+            order.append(v)
+            neigh = graph.neighbors(v)
+            w = graph.neighbor_weights(v)
+            for u, wt in zip(neigh.tolist(), w.tolist()):
+                nd = d + wt
+                if nd < dist[u] - 1e-12:
+                    dist[u] = nd
+                    predecessors[u] = [v]
+                    sigma[u] = sigma[v]
+                    heapq.heappush(seen, (nd, u))
+                elif abs(nd - dist[u]) <= 1e-12 and v not in predecessors[u]:
+                    predecessors[u].append(v)
+                    sigma[u] += sigma[v]
+        return order, predecessors, sigma
+
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue: deque[int] = deque([source])
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for u in graph.neighbors(v).tolist():
+            if dist[u] < 0:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+            if dist[u] == dist[v] + 1:
+                predecessors[u].append(v)
+                sigma[u] += sigma[v]
+    return order, predecessors, sigma

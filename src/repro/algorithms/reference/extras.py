@@ -1,0 +1,45 @@
+"""Comparison-benchmark kernels: BFS, Local Clustering Coefficient, and
+K-Hop.
+
+The paper drops BFS and LCC from the core set (Table 3) but the library
+keeps them so the LDBC-vs-ours comparison experiments can run both suites
+side by side; K-Hop is WGB's representative workload (Table 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.reference.triangles import per_vertex_triangles
+from repro.core.graph import Graph
+from repro.core.traversal import bfs_levels
+from repro.errors import GeneratorParameterError
+
+__all__ = ["bfs", "local_clustering_coefficient", "k_hop"]
+
+
+def bfs(graph: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` (-1 = unreachable); LDBC's BFS task."""
+    return bfs_levels(graph, source)
+
+
+def k_hop(graph: Graph, source: int, k: int) -> np.ndarray:
+    """Vertices within ``k`` hops of ``source`` (WGB's K-Hop workload).
+
+    Returns the sorted vertex ids whose BFS level is in ``[0, k]``.
+    """
+    if k < 0:
+        raise GeneratorParameterError(f"k must be non-negative, got {k}")
+    levels = bfs_levels(graph, source)
+    return np.nonzero((levels >= 0) & (levels <= k))[0]
+
+
+def local_clustering_coefficient(graph: Graph) -> np.ndarray:
+    """Per-vertex LCC via triangle counts: ``2 * tri(v) / (d(v) (d(v)-1))``."""
+    und = graph.to_undirected()
+    triangles = per_vertex_triangles(und).astype(np.float64)
+    degrees = und.out_degrees().astype(np.float64)
+    wedges = degrees * (degrees - 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        lcc = np.where(wedges > 0, 2.0 * triangles / wedges, 0.0)
+    return lcc

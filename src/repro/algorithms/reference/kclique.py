@@ -1,0 +1,75 @@
+"""Reference k-clique counting kernel (subgraph class).
+
+Chiba–Nishizeki-style expansion over the degeneracy orientation: every
+clique is rooted at its lowest-order vertex, and candidates are always
+forward neighbours, so each clique is enumerated exactly once and forward
+degrees are bounded by the graph degeneracy.  Worst case matches the
+paper's ``O(k^2 * n^k)`` bound but is far faster on sparse graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.reference.core_decomposition import degeneracy_order
+from repro.core.graph import Graph
+from repro.errors import GeneratorParameterError
+
+__all__ = ["k_clique_count", "enumerate_k_cliques"]
+
+
+def k_clique_count(graph: Graph, k: int) -> int:
+    """Number of complete subgraphs on ``k`` vertices.
+
+    ``k = 1`` counts vertices, ``k = 2`` edges, ``k = 3`` triangles.
+    """
+    total = 0
+    for _ in _cliques(graph, k, yield_members=False):
+        total += 1
+    return total
+
+
+def enumerate_k_cliques(graph: Graph, k: int) -> list[tuple[int, ...]]:
+    """Materialize every k-clique as a sorted vertex tuple.
+
+    Intended for tests and small graphs — output can be exponential.
+    """
+    return [tuple(members) for members in _cliques(graph, k, yield_members=True)]
+
+
+def _cliques(graph: Graph, k: int, *, yield_members: bool):
+    if k < 1:
+        raise GeneratorParameterError(f"k must be >= 1, got {k}")
+    und = graph.to_undirected()
+    n = und.num_vertices
+    if k == 1:
+        for v in range(n):
+            yield (v,) if yield_members else None
+        return
+
+    order = degeneracy_order(und)
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    forward: list[np.ndarray] = []
+    for v in range(n):
+        neigh = und.neighbors(v)
+        forward.append(np.sort(neigh[position[neigh] > position[v]]))
+
+    # Depth-first expansion: (partial clique, candidate forward set).
+    for v in range(n):
+        stack = [((v,), forward[v])]
+        while stack:
+            members, candidates = stack.pop()
+            if len(members) == k - 1:
+                for u in candidates.tolist():
+                    yield tuple(sorted(members + (u,))) if yield_members else None
+                continue
+            for u in candidates.tolist():
+                # forward[u] only holds vertices after u in degeneracy
+                # order, so intersecting keeps every clique rooted-once.
+                narrowed = np.intersect1d(
+                    candidates, forward[u], assume_unique=True
+                )
+                remaining = k - len(members) - 2
+                if narrowed.size >= remaining:
+                    stack.append((members + (u,), narrowed))

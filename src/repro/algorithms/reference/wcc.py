@@ -1,0 +1,50 @@
+"""Reference weakly-connected-components kernel (sequential class).
+
+Two independent implementations: the vectorized label-propagation +
+pointer-jumping routine from :mod:`repro.core.traversal`, and a classic
+union-find (disjoint set) — the sequential algorithm Grape's block-centric
+model calls directly (Section 8.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.core.traversal import connected_components
+
+__all__ = ["wcc", "wcc_union_find", "component_sizes"]
+
+
+def wcc(graph: Graph) -> np.ndarray:
+    """Component label per vertex (label = minimum member id)."""
+    return connected_components(graph)
+
+
+def wcc_union_find(graph: Graph) -> np.ndarray:
+    """Union-find WCC; labels normalized to each component's minimum id."""
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    src, dst, _ = graph.edge_arrays()
+    for a, b in zip(src.tolist(), dst.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    labels = np.fromiter((find(v) for v in range(n)), dtype=np.int64, count=n)
+    return labels
+
+
+def component_sizes(labels: np.ndarray) -> dict[int, int]:
+    """Map component label to member count."""
+    values, counts = np.unique(labels, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,27 @@
+"""Benchmark harness: experiment executor and per-table/figure
+regenerators.
+
+One module per experiment family — :mod:`repro.bench.genquality`
+(Section 8.1), :mod:`repro.bench.performance` (Sections 8.2–8.3),
+:mod:`repro.bench.usability_exp` (Section 8.4), and
+:mod:`repro.bench.selection` (Section 9) — plus static tables, plain-text
+reporting, and the ``repro-bench`` CLI.
+"""
+
+from repro.bench.runner import (
+    RED_BAR_CASES,
+    CaseOutcome,
+    clear_case_cache,
+    run_case,
+)
+from repro.bench.reporting import emit, render_series, render_table
+
+__all__ = [
+    "RED_BAR_CASES",
+    "CaseOutcome",
+    "run_case",
+    "clear_case_cache",
+    "emit",
+    "render_series",
+    "render_table",
+]

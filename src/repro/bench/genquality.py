@@ -1,0 +1,233 @@
+"""Generator-quality experiments (Section 8.1).
+
+* :func:`similarity_table` — Table 8: Jensen–Shannon divergence of six
+  per-community statistics between the LiveJournal surrogate and each
+  generator's output.
+* :func:`distribution_series` — Fig. 7: the raw statistic distributions.
+* :func:`runtime_similarity` — Table 9 / Fig. 8: PR and SSSP running
+  times on the three graphs across six platforms, and each generator's
+  relative difference from the real-graph runtime.
+* :func:`efficiency_sweep` — Fig. 9: trials and edges/second for
+  FFT-DG vs. LDBC-DG across density factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.spec import single_machine
+from repro.core.communities import (
+    COMMUNITY_STATISTIC_NAMES,
+    detect_communities,
+    statistic_distributions,
+)
+from repro.core.distance import distribution_divergence, relative_difference
+from repro.core.graph import Graph
+from repro.datagen.fft import FFTDG, FFTDGConfig, calibrate_alpha
+from repro.datagen.ldbc import LDBCDG, ldbc_params_for_mean_degree
+from repro.datagen.surrogate import livejournal_surrogate
+from repro.errors import OutOfMemoryError, PlatformError
+from repro.platforms.registry import get_platform
+
+__all__ = [
+    "SimilarityGraphs",
+    "build_similarity_graphs",
+    "similarity_table",
+    "distribution_series",
+    "runtime_similarity",
+    "efficiency_sweep",
+]
+
+#: Platforms of the Table-9 runtime-similarity study (all but G-thinker,
+#: which cannot run PR/SSSP).
+SIMILARITY_PLATFORMS = ("GraphX", "PowerGraph", "Flash", "Grape",
+                        "Pregel+", "Ligra")
+
+
+@dataclass(frozen=True)
+class SimilarityGraphs:
+    """The three same-size graphs of the similarity study."""
+
+    livejournal: Graph
+    fft: Graph
+    ldbc: Graph
+
+
+def build_similarity_graphs(
+    *, num_vertices: int = 1200, mean_degree: float = 12.0,
+    community_size: int = 64, seed: int = 42
+) -> SimilarityGraphs:
+    """LJ surrogate plus FFT-DG and LDBC-DG graphs of matching size.
+
+    As in the paper, FFT-DG's density factor is tuned and LDBC-DG's
+    degrees reduced so all three graphs match the reference scale.
+    FFT-DG runs with community-sized groups: at full scale the LDBC
+    property substrate (interest blocks in the homophily order) confines
+    edges the same way, but at reproduction scale the scale-free gap
+    distribution would wash the block boundaries out, so the group
+    mechanism stands in for them.
+    """
+    lj = livejournal_surrogate(num_vertices, mean_degree=mean_degree,
+                               seed=seed).graph
+    # Tune both generators to the reference graph's *measured* degree so
+    # the runtime comparison is not dominated by edge-count differences.
+    measured_degree = 2.0 * lj.num_edges / max(1, lj.num_vertices)
+    groups = max(1, num_vertices // community_size)
+    # FFT-DG's gap distribution is scale-free: at full scale its tail
+    # supplies the long-range edges that keep the diameter small while
+    # interest blocks shape the communities.  At reproduction scale the
+    # group mechanism truncates that tail, so the grouped run (90% of
+    # edges, community structure) is overlaid with an ungrouped alpha=1
+    # run (10%, the long-range tail).
+    local_degree = 0.9 * measured_degree
+    alpha = calibrate_alpha(num_vertices, local_degree,
+                            group_count=groups, tolerance=0.02, seed=seed)
+    local = FFTDG(
+        FFTDGConfig(num_vertices=num_vertices, alpha=alpha,
+                    group_count=groups, seed=seed)
+    ).generate().graph
+    tail_edges = int(0.05 * measured_degree * num_vertices)
+    full_tail = FFTDG(
+        FFTDGConfig(num_vertices=num_vertices, alpha=1.0, group_count=1,
+                    connect_path=False, use_homophily_order=False,
+                    seed=seed + 1)
+    ).generate().graph
+    tail = _sample_long_edges(full_tail, min_gap=community_size,
+                              count=tail_edges, seed=seed + 2)
+    fft = _union(local, tail)
+    ldbc = LDBCDG(
+        ldbc_params_for_mean_degree(num_vertices, measured_degree)
+    ).generate().graph
+    return SimilarityGraphs(livejournal=lj, fft=fft, ldbc=ldbc)
+
+
+def _sample_long_edges(graph: Graph, *, min_gap: int, count: int,
+                       seed: int) -> Graph:
+    """Uniform sample of ``count`` edges spanning at least ``min_gap``
+    positions (the scale-free tail of FFT-DG's gap distribution)."""
+    import numpy as _np
+
+    src, dst, _ = graph.edge_arrays()
+    long_mask = _np.abs(dst - src) >= min_gap
+    src, dst = src[long_mask], dst[long_mask]
+    if src.shape[0] > count:
+        rng = _np.random.default_rng(seed)
+        keep = rng.choice(src.shape[0], size=count, replace=False)
+        src, dst = src[keep], dst[keep]
+    return Graph.from_edges(src, dst, num_vertices=graph.num_vertices)
+
+
+def _union(a: Graph, b: Graph) -> Graph:
+    """Union of two edge sets over the same vertex set."""
+    import numpy as _np
+
+    sa, da, _ = a.edge_arrays()
+    sb, db, _ = b.edge_arrays()
+    return Graph.from_edges(
+        _np.concatenate([sa, sb]),
+        _np.concatenate([da, db]),
+        num_vertices=max(a.num_vertices, b.num_vertices),
+    )
+
+
+def similarity_table(
+    graphs: SimilarityGraphs | None = None, *, bins: int = 12, seed: int = 0
+) -> dict[str, dict[str, float]]:
+    """Table 8: JS divergence per community statistic per generator."""
+    graphs = graphs or build_similarity_graphs()
+    reference = statistic_distributions(graphs.livejournal, seed=seed)
+    rows: dict[str, dict[str, float]] = {}
+    for generator, graph in (("FFT-DG", graphs.fft), ("LDBC-DG", graphs.ldbc)):
+        sample = statistic_distributions(graph, seed=seed)
+        rows[generator] = {
+            stat: distribution_divergence(reference[stat], sample[stat],
+                                          bins=bins)
+            for stat in COMMUNITY_STATISTIC_NAMES
+        }
+    return rows
+
+
+def distribution_series(
+    graphs: SimilarityGraphs | None = None, *, seed: int = 0
+) -> dict[str, dict[str, np.ndarray]]:
+    """Fig. 7: raw per-community statistic samples per dataset."""
+    graphs = graphs or build_similarity_graphs()
+    return {
+        "LiveJournal": statistic_distributions(graphs.livejournal, seed=seed),
+        "FFT-DG": statistic_distributions(graphs.fft, seed=seed),
+        "LDBC-DG": statistic_distributions(graphs.ldbc, seed=seed),
+    }
+
+
+def runtime_similarity(
+    graphs: SimilarityGraphs | None = None,
+    *,
+    algorithms: tuple[str, ...] = ("pr", "sssp"),
+    platforms: tuple[str, ...] = SIMILARITY_PLATFORMS,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Table 9 / Fig. 8 data.
+
+    Returns ``{algorithm: {platform: row}}`` where each row holds the
+    three runtimes plus each generator's relative difference from the
+    LiveJournal runtime.
+    """
+    graphs = graphs or build_similarity_graphs()
+    cluster = single_machine(32)
+    results: dict[str, dict[str, dict[str, float]]] = {}
+    for algorithm in algorithms:
+        results[algorithm] = {}
+        for name in platforms:
+            platform = get_platform(name)
+            try:
+                t_lj = platform.run(algorithm, graphs.livejournal,
+                                    cluster).priced.seconds
+                t_fft = platform.run(algorithm, graphs.fft,
+                                     cluster).priced.seconds
+                t_ldbc = platform.run(algorithm, graphs.ldbc,
+                                      cluster).priced.seconds
+            except (PlatformError, OutOfMemoryError):
+                continue
+            results[algorithm][name] = {
+                "livejournal_s": t_lj,
+                "fft_s": t_fft,
+                "ldbc_s": t_ldbc,
+                "fft_rel_diff": relative_difference(t_fft, t_lj),
+                "ldbc_rel_diff": relative_difference(t_ldbc, t_lj),
+            }
+    return results
+
+
+def efficiency_sweep(
+    *,
+    num_vertices: int = 3000,
+    alphas: tuple[float, ...] = (1.0, 10.0, 100.0, 1000.0),
+    seed: int = 5,
+) -> list[dict[str, float]]:
+    """Fig. 9: generation trials and throughput vs. density factor.
+
+    For each alpha, FFT-DG generates directly; LDBC-DG is tuned to the
+    same resulting mean degree (the paper's density-matched comparison).
+    """
+    rows: list[dict[str, float]] = []
+    for alpha in alphas:
+        fft = FFTDG(
+            FFTDGConfig(num_vertices=num_vertices, alpha=alpha, seed=seed)
+        ).generate()
+        mean_degree = 2.0 * fft.graph.num_edges / max(1, num_vertices)
+        ldbc = LDBCDG(
+            ldbc_params_for_mean_degree(num_vertices, mean_degree)
+        ).generate()
+        rows.append({
+            "alpha": alpha,
+            "fft_edges": float(fft.graph.num_edges),
+            "fft_trials": float(fft.counter.trials),
+            "fft_trials_per_edge": fft.counter.trials_per_edge,
+            "fft_edges_per_s": fft.edges_per_second,
+            "ldbc_edges": float(ldbc.graph.num_edges),
+            "ldbc_trials": float(ldbc.counter.trials),
+            "ldbc_trials_per_edge": ldbc.counter.trials_per_edge,
+            "ldbc_edges_per_s": ldbc.edges_per_second,
+        })
+    return rows

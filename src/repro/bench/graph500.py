@@ -1,0 +1,124 @@
+"""A miniature Graph500 harness.
+
+The paper's Table 1 positions its benchmark against Graph500 (BFS/SSSP
+over Kronecker graphs, scored in traversed edges per second).  This
+module makes that comparison runnable: it generates a Graph500-style
+R-MAT graph, runs BFS from sampled roots on any simulated platform,
+validates the results Graph500-style, and reports TEPS — so the two
+benchmarks' methodologies can be contrasted side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec, single_machine
+from repro.core.graph import Graph
+from repro.core.traversal import connected_components
+from repro.datagen.kronecker import KroneckerConfig, kronecker
+from repro.errors import BenchmarkError
+from repro.platforms.registry import get_platform
+
+__all__ = ["Graph500Run", "run_graph500", "validate_bfs_levels"]
+
+
+@dataclass(frozen=True)
+class Graph500Run:
+    """One platform's Graph500 score."""
+
+    platform: str
+    scale: int
+    edge_factor: int
+    num_roots: int
+    mean_teps: float
+    harmonic_mean_teps: float   # Graph500's official aggregate
+    mean_seconds: float
+
+    def as_row(self) -> list[object]:
+        """Row for the reporting layer."""
+        return [self.platform, self.scale, self.num_roots,
+                self.harmonic_mean_teps, self.mean_seconds]
+
+
+def validate_bfs_levels(graph: Graph, levels: np.ndarray, root: int) -> None:
+    """Graph500-style result validation.
+
+    Checks (adapted from the spec's five): the root has level 0, every
+    edge spans at most one level, and reachability agrees with the
+    graph's connected components.
+    """
+    if levels[root] != 0:
+        raise BenchmarkError(f"root {root} has level {levels[root]}, not 0")
+    src, dst, _ = graph.edge_arrays()
+    a, b = levels[src], levels[dst]
+    both = (a >= 0) & (b >= 0)
+    if np.any(np.abs(a[both] - b[both]) > 1):
+        raise BenchmarkError("an edge spans more than one BFS level")
+    if np.any((a >= 0) != (b >= 0)):
+        raise BenchmarkError("an edge connects reached and unreached vertices")
+    components = connected_components(graph)
+    reached = levels >= 0
+    same = components == components[root]
+    if not np.array_equal(reached, same):
+        raise BenchmarkError("reachability disagrees with components")
+
+
+def run_graph500(
+    *,
+    scale: int = 10,
+    edge_factor: int = 16,
+    platforms: tuple[str, ...] = ("Ligra", "Grape", "Pregel+"),
+    num_roots: int = 8,
+    cluster: ClusterSpec | None = None,
+    seed: int = 1,
+) -> list[Graph500Run]:
+    """Run the Graph500 kernel-2 (BFS) benchmark on simulated platforms.
+
+    Per the spec: generate a Kronecker graph of ``2^scale`` vertices,
+    sample search roots from non-isolated vertices, run and *validate*
+    one BFS per root, and score traversed edges per second (TEPS),
+    aggregated by the harmonic mean.
+    """
+    if num_roots < 1:
+        raise BenchmarkError(f"num_roots must be >= 1, got {num_roots}")
+    graph = kronecker(
+        KroneckerConfig(scale=scale, edge_factor=edge_factor, seed=seed)
+    ).graph
+    degrees = graph.out_degrees()
+    candidates = np.nonzero(degrees > 0)[0]
+    rng = np.random.default_rng(seed + 1)
+    roots = rng.choice(candidates, size=min(num_roots, candidates.size),
+                       replace=False)
+    cluster = cluster or single_machine(32)
+    components = connected_components(graph)
+    src, _, _ = graph.edge_arrays()
+
+    results = []
+    for name in platforms:
+        platform = get_platform(name)
+        if not platform.supports("bfs"):
+            continue
+        teps_values = []
+        seconds_values = []
+        for root in roots.tolist():
+            run = platform.run("bfs", graph, cluster, source=root)
+            validate_bfs_levels(graph, run.values, root)
+            # Graph500 counts the traversed component's edges.
+            in_component = components[src] == components[root]
+            traversed_edges = int(in_component.sum())
+            seconds = run.priced.seconds
+            teps_values.append(traversed_edges / seconds)
+            seconds_values.append(seconds)
+        teps = np.asarray(teps_values)
+        results.append(Graph500Run(
+            platform=name,
+            scale=scale,
+            edge_factor=edge_factor,
+            num_roots=len(teps_values),
+            mean_teps=float(teps.mean()),
+            harmonic_mean_teps=float(len(teps) / np.sum(1.0 / teps)),
+            mean_seconds=float(np.mean(seconds_values)),
+        ))
+    return results

@@ -1,0 +1,72 @@
+"""Plain-text rendering of benchmark tables and figure series.
+
+Every experiment regenerator returns structured data; these helpers
+render the same rows/series the paper's tables and figures report, both
+to stdout and to ``benchmarks/out/*.txt`` files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "emit"]
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Fixed-width ASCII table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(c)) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in str_rows
+    ]
+    return "\n".join([f"== {title} ==", line, rule, *body, ""])
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[object]],
+) -> str:
+    """Figure data as one column per series (paper figure line data)."""
+    columns = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return render_table(title, columns, rows)
+
+
+def emit(name: str, text: str, *, out_dir: str | os.PathLike[str] | None = None) -> Path:
+    """Print ``text`` and persist it under the bench output directory.
+
+    The directory defaults to ``$REPRO_BENCH_OUT`` or
+    ``benchmarks/out`` relative to the current working directory.
+    """
+    print(text)
+    base = Path(out_dir or os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    base.mkdir(parents=True, exist_ok=True)
+    path = base / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)

@@ -1,0 +1,131 @@
+"""Platform selection guide (Section 9, Fig. 14).
+
+Aggregates every evaluation dimension into per-platform normalized
+scores — algorithm coverage, thread speed-up, machine speed-up,
+throughput, stress capacity, and the three usability metrics — and ranks
+platforms by covered area, the paper's Fig. 14 radar comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.performance import (
+    S8_DATASETS,
+    SCALING_ALGORITHMS,
+    scale_out_curves,
+    scale_up_curves,
+    speedup_table,
+    stress_test,
+    throughput_table,
+)
+from repro.bench.usability_exp import run_usability_experiment
+from repro.platforms.base import CORE_ALGORITHMS
+from repro.platforms.registry import all_platforms
+from repro.usability.prompts import PromptLevel
+
+__all__ = ["SelectionGuide", "build_selection_guide", "FIG14_METRICS"]
+
+#: Radar axes in Fig. 14 order (performance axes interleaved with the
+#: capacity axes, usability axes grouped).
+FIG14_METRICS = (
+    "algorithm_coverage",
+    "thread_speedup",
+    "machine_speedup",
+    "stress",
+    "throughput",
+    "compliance",
+    "correctness",
+    "readability",
+)
+
+
+@dataclass(frozen=True)
+class SelectionGuide:
+    """Normalized per-platform metric grid plus the overall ranking."""
+
+    metrics: dict[str, dict[str, float]]   # {platform: {metric: 0..1}}
+    ranking: list[str]                     # best-first
+
+    def area(self, platform: str) -> float:
+        """Radar polygon area (normalized to [0, 1]).
+
+        The paper ranks platforms by the area each covers on the Fig. 14
+        radar; for axis values ``r_i`` the polygon area is proportional
+        to ``sum(r_i * r_{i+1})`` over adjacent axes (cyclic), so a zero
+        axis hurts superlinearly — which is how Ligra's missing
+        distributed metrics sink it despite good single-machine numbers.
+        """
+        values = [self.metrics[platform][m] for m in FIG14_METRICS]
+        k = len(values)
+        total = sum(values[i] * values[(i + 1) % k] for i in range(k))
+        return total / k
+
+
+def build_selection_guide(
+    *,
+    usability_repetitions: int = 3,
+    seed: int = 0,
+) -> SelectionGuide:
+    """Run (or reuse cached) experiments and aggregate Fig. 14."""
+    platforms = [p.name for p in all_platforms()]
+    raw: dict[str, dict[str, float]] = {name: {} for name in platforms}
+
+    # Algorithm coverage.
+    for platform in all_platforms():
+        raw[platform.name]["algorithm_coverage"] = (
+            len(platform.algorithms()) / len(CORE_ALGORITHMS)
+        )
+
+    # Thread and machine speed-ups (mean over available cases).
+    up = speedup_table(scale_up_curves(datasets=("S8-Std",)))
+    out = speedup_table(scale_out_curves(datasets=("S9-Std",)))
+    for name in platforms:
+        ups = [row[name] for row in up.values() if name in row]
+        outs = [row[name] for row in out.values() if name in row]
+        raw[name]["thread_speedup"] = float(np.mean(ups)) if ups else 0.0
+        raw[name]["machine_speedup"] = float(np.mean(outs)) if outs else 0.0
+
+    # Throughput: mean edges/sec over successful S9 cases.
+    thr = throughput_table(datasets=("S9-Std",))
+    for name in platforms:
+        values = [r["edges_per_s"] for r in thr
+                  if r["platform"] == name and r["status"] == "ok"]
+        raw[name]["throughput"] = float(np.mean(values)) if values else 0.0
+    # Ligra is absent from the 16-machine throughput runs entirely.
+
+    # Stress: index of the largest dataset handled.
+    stress = stress_test()
+    order = ("S8-Std", "S9-Std", "S9.5-Std", "S10-Std")
+    for name in platforms:
+        row = stress.get(name, {})
+        passed = sum(1 for d in order if row.get(d) == "ok")
+        raw[name]["stress"] = passed / len(order)
+
+    # Usability (senior level, the paper's Fig. 14 inputs).
+    usability = run_usability_experiment(
+        levels=(PromptLevel.SENIOR,), repetitions=usability_repetitions,
+        seed=seed,
+    )
+    for name, score in usability.scores[PromptLevel.SENIOR].items():
+        raw[name]["compliance"] = score.compliance / 100.0
+        raw[name]["correctness"] = score.correctness / 100.0
+        raw[name]["readability"] = score.readability / 100.0
+
+    normalized = _normalize(raw)
+    guide = SelectionGuide(metrics=normalized, ranking=[])
+    ranking = sorted(platforms, key=guide.area, reverse=True)
+    return SelectionGuide(metrics=normalized, ranking=ranking)
+
+
+def _normalize(raw: dict[str, dict[str, float]]) -> dict[str, dict[str, float]]:
+    """Scale each metric to [0, 1] by its max over platforms."""
+    out: dict[str, dict[str, float]] = {name: {} for name in raw}
+    for metric in FIG14_METRICS:
+        values = {name: raw[name].get(metric, 0.0) for name in raw}
+        top = max(values.values())
+        for name, value in values.items():
+            out[name][metric] = value / top if top > 0 else 0.0
+    return out

@@ -1,0 +1,67 @@
+"""Static tables: algorithm popularity (Table 2), workload & topics
+(Table 3), the dataset catalog (Table 4), the metric vocabulary
+(Table 5), and the platform roster (Table 6)."""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHMS, core_algorithms
+from repro.datagen.catalog import DATASETS, build_dataset
+from repro.core.stats import approximate_diameter
+from repro.platforms.profile import PROFILES
+
+__all__ = [
+    "popularity_rows",
+    "workload_rows",
+    "dataset_rows",
+    "platform_rows",
+]
+
+
+def popularity_rows() -> list[list[object]]:
+    """Table 2: popularity statistics of the eight core algorithms."""
+    return [
+        [a.key.upper(), a.papers, a.dblp_hits, a.scholar_hits, a.wos_hits]
+        for a in core_algorithms()
+    ]
+
+
+def workload_rows() -> list[list[object]]:
+    """Table 3: workload, topic, and set membership per algorithm."""
+    return [
+        [
+            a.key.upper(),
+            a.workload,
+            a.topic,
+            "yes" if a.in_ldbc else "",
+            "yes" if a.in_ours else "",
+        ]
+        for a in ALGORITHMS.values()
+    ]
+
+
+def dataset_rows(*, measure: bool = True) -> list[list[object]]:
+    """Table 4: paper statistics plus (optionally) measured scaled ones."""
+    rows = []
+    for spec in DATASETS.values():
+        row: list[object] = [
+            spec.name, spec.paper_vertices, spec.paper_edges,
+            spec.paper_density, spec.paper_diameter,
+        ]
+        if measure:
+            graph = build_dataset(spec.name).graph
+            row.extend([
+                graph.num_vertices,
+                graph.num_edges,
+                graph.density,
+                approximate_diameter(graph),
+            ])
+        rows.append(row)
+    return rows
+
+
+def platform_rows() -> list[list[object]]:
+    """Table 6: language and computing model per platform."""
+    return [
+        [p.name, p.language, p.model]
+        for p in PROFILES.values()
+    ]

@@ -1,0 +1,63 @@
+"""Usability experiment (Section 8.4): Fig. 13 and Table 12."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.usability.apis import API_SPECS
+from repro.usability.human import (
+    HUMAN_SCORES,
+    PAPER_LLM_SCORES,
+    PAPER_SPEARMAN,
+    ValidationResult,
+    validate_against_humans,
+)
+from repro.usability.prompts import PromptLevel
+from repro.usability.scoring import UsabilityScore, evaluate_usability
+
+__all__ = ["UsabilityExperiment", "run_usability_experiment"]
+
+
+@dataclass(frozen=True)
+class UsabilityExperiment:
+    """All Fig. 13 / Table 12 data from one framework run."""
+
+    scores: dict[PromptLevel, dict[str, UsabilityScore]]
+    validations: dict[PromptLevel, ValidationResult]
+
+    def overall(self, level: PromptLevel) -> dict[str, float]:
+        """Platform → overall score at one level."""
+        return {name: s.overall for name, s in self.scores[level].items()}
+
+    def ranking(self, level: PromptLevel) -> list[str]:
+        """Platforms ordered best-first at one level."""
+        row = self.overall(level)
+        return sorted(row, key=row.__getitem__, reverse=True)
+
+
+def run_usability_experiment(
+    *,
+    levels: tuple[PromptLevel, ...] = tuple(PromptLevel),
+    repetitions: int = 8,
+    seed: int = 0,
+) -> UsabilityExperiment:
+    """Run the multi-level evaluation over all platforms.
+
+    Human-panel Spearman validation is computed for the levels the paper
+    surveyed (Intermediate and Senior).
+    """
+    scores = {
+        level: {
+            name: evaluate_usability(name, level, repetitions=repetitions,
+                                     seed=seed)
+            for name in API_SPECS
+        }
+        for level in levels
+    }
+    validations = {}
+    for level in (PromptLevel.INTERMEDIATE, PromptLevel.SENIOR):
+        if level in scores:
+            validations[level] = validate_against_humans(
+                {name: s.overall for name, s in scores[level].items()}, level
+            )
+    return UsabilityExperiment(scores=scores, validations=validations)

@@ -1,0 +1,39 @@
+"""Simulated cluster: specs, the trace-based BSP cost model, and metrics.
+
+This package is the substitution for the paper's physical 16-machine
+testbed (see DESIGN.md): algorithms run for real while engines meter the
+work a distributed execution would perform into a :class:`WorkTrace`;
+:func:`price_trace` prices that work in simulated seconds under any
+machine/thread configuration.
+"""
+
+from repro.cluster.spec import PAPER_CLUSTER, ClusterSpec, scale_out, single_machine
+from repro.cluster.cost import (
+    NUM_PARTS,
+    CostParameters,
+    PricedRun,
+    SuperstepRecord,
+    TraceRecorder,
+    WorkTrace,
+    amdahl_efficiency,
+    check_memory,
+    price_trace,
+)
+from repro.cluster.metrics import RunMetrics
+
+__all__ = [
+    "ClusterSpec",
+    "PAPER_CLUSTER",
+    "single_machine",
+    "scale_out",
+    "NUM_PARTS",
+    "CostParameters",
+    "PricedRun",
+    "SuperstepRecord",
+    "TraceRecorder",
+    "WorkTrace",
+    "amdahl_efficiency",
+    "check_memory",
+    "price_trace",
+    "RunMetrics",
+]

@@ -1,0 +1,52 @@
+"""Run metrics: the Table-5 performance measurement vocabulary.
+
+* **Upload time** — read, convert, partition, and load the graph.
+* **Running time** — the algorithm execution itself.
+* **Makespan** — upload + run + result write-back.
+* **Throughput** — edges processed per second of running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Simulated timing breakdown of one platform/algorithm/dataset run."""
+
+    upload_seconds: float
+    run_seconds: float
+    writeback_seconds: float
+    edges_processed: int
+    compute_ops: float
+    messages: int
+    remote_bytes: float
+    supersteps: int
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Total time including load and result write-back."""
+        return self.upload_seconds + self.run_seconds + self.writeback_seconds
+
+    @property
+    def throughput_edges_per_second(self) -> float:
+        """Edges per second of algorithm running time (Table 5)."""
+        if self.run_seconds <= 0:
+            return float("inf")
+        return self.edges_processed / self.run_seconds
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary for the bench reporting layer."""
+        return {
+            "upload_s": self.upload_seconds,
+            "run_s": self.run_seconds,
+            "makespan_s": self.makespan_seconds,
+            "edges_per_s": self.throughput_edges_per_second,
+            "compute_ops": self.compute_ops,
+            "messages": float(self.messages),
+            "remote_bytes": self.remote_bytes,
+            "supersteps": float(self.supersteps),
+        }

@@ -1,0 +1,115 @@
+"""Convenience constructors for small graphs.
+
+Used pervasively by the test suite and the examples: path, cycle, star,
+complete, grid, and empty graphs, plus a deterministic random graph helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import GeneratorParameterError
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "random_graph",
+]
+
+
+def _require_positive(name: str, value: int) -> None:
+    if value < 0:
+        raise GeneratorParameterError(f"{name} must be non-negative, got {value}")
+
+
+def empty_graph(n: int, *, directed: bool = False) -> Graph:
+    """``n`` isolated vertices, no edges."""
+    _require_positive("n", n)
+    return Graph.from_edges([], [], num_vertices=n, directed=directed)
+
+
+def path_graph(n: int, *, directed: bool = False, weighted: bool = False) -> Graph:
+    """Path ``0 - 1 - ... - (n-1)``; unit weights if ``weighted``."""
+    _require_positive("n", n)
+    src = np.arange(n - 1, dtype=np.int64) if n > 1 else np.empty(0, dtype=np.int64)
+    dst = src + 1
+    weights = np.ones(src.shape[0]) if weighted else None
+    return Graph.from_edges(src, dst, weights=weights, num_vertices=n, directed=directed)
+
+
+def cycle_graph(n: int, *, directed: bool = False) -> Graph:
+    """Cycle over ``n >= 3`` vertices."""
+    if n < 3:
+        raise GeneratorParameterError(f"cycle needs n >= 3, got {n}")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return Graph.from_edges(src, dst, num_vertices=n, directed=directed)
+
+
+def star_graph(n: int) -> Graph:
+    """Undirected star: hub 0 connected to ``1..n-1``."""
+    _require_positive("n", n)
+    if n < 2:
+        return empty_graph(n)
+    src = np.zeros(n - 1, dtype=np.int64)
+    dst = np.arange(1, n, dtype=np.int64)
+    return Graph.from_edges(src, dst, num_vertices=n)
+
+
+def complete_graph(n: int, *, directed: bool = False) -> Graph:
+    """Complete graph ``K_n`` (all ordered pairs if ``directed``)."""
+    _require_positive("n", n)
+    idx = np.arange(n, dtype=np.int64)
+    src, dst = np.meshgrid(idx, idx, indexing="ij")
+    src, dst = src.ravel(), dst.ravel()
+    keep = src != dst if directed else src < dst
+    return Graph.from_edges(src[keep], dst[keep], num_vertices=n, directed=directed)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Undirected 2-D grid; vertex ``(r, c)`` has id ``r * cols + c``."""
+    _require_positive("rows", rows)
+    _require_positive("cols", cols)
+    src, dst = [], []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                src.append(v)
+                dst.append(v + 1)
+            if r + 1 < rows:
+                src.append(v)
+                dst.append(v + cols)
+    return Graph.from_edges(src, dst, num_vertices=rows * cols)
+
+
+def random_graph(
+    n: int,
+    m: int,
+    *,
+    seed: int = 0,
+    directed: bool = False,
+    weighted: bool = False,
+) -> Graph:
+    """Deterministic uniform random multigraph trimmed to simple edges.
+
+    Oversamples then dedups, so the result may have slightly fewer than
+    ``m`` edges for very dense requests; tests that need an exact count
+    should use :func:`repro.datagen.classic.erdos_renyi_gnm`.
+    """
+    _require_positive("n", n)
+    _require_positive("m", m)
+    if n < 2 or m == 0:
+        return empty_graph(n, directed=directed)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    dst = rng.integers(0, n, size=2 * m, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep][:m], dst[keep][:m]
+    weights = rng.uniform(0.5, 10.0, size=src.shape[0]) if weighted else None
+    return Graph.from_edges(src, dst, weights=weights, num_vertices=n, directed=directed)

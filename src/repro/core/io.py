@@ -1,0 +1,147 @@
+"""Graph serialization.
+
+Two formats are supported:
+
+* **Edge-list text** — one ``src dst [weight]`` record per line, ``#``
+  comments, compatible with SNAP / LDBC Graphalytics ``.e`` files.  An
+  optional companion vertex file pins ``num_vertices`` when isolated
+  trailing vertices exist.
+* **Binary** — a compact ``.npz`` with the CSR arrays, for fast reload of
+  generated benchmark datasets.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import GraphFormatError
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_binary",
+    "load_binary",
+]
+
+_BINARY_MAGIC = "repro-graph-v1"
+
+
+def read_edge_list(
+    path: str | os.PathLike[str] | io.TextIOBase,
+    *,
+    directed: bool = False,
+    num_vertices: int | None = None,
+    comment: str = "#",
+) -> Graph:
+    """Parse an edge-list text file into a :class:`Graph`.
+
+    Lines may carry two fields (unweighted) or three (weighted); the file
+    must be consistent.  Blank lines and ``comment``-prefixed lines are
+    skipped.
+    """
+    if isinstance(path, io.TextIOBase):
+        lines = path.readlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    expected_fields: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comment):
+            continue
+        fields = line.split()
+        if expected_fields is None:
+            if len(fields) not in (2, 3):
+                raise GraphFormatError(
+                    f"line {lineno}: expected 2 or 3 fields, got {len(fields)}"
+                )
+            expected_fields = len(fields)
+        elif len(fields) != expected_fields:
+            raise GraphFormatError(
+                f"line {lineno}: inconsistent field count "
+                f"({len(fields)} vs {expected_fields})"
+            )
+        try:
+            srcs.append(int(fields[0]))
+            dsts.append(int(fields[1]))
+            if expected_fields == 3:
+                weights.append(float(fields[2]))
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: {exc}") from exc
+
+    return Graph.from_edges(
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        weights=np.asarray(weights) if weights else None,
+        num_vertices=num_vertices,
+        directed=directed,
+    )
+
+
+def write_edge_list(
+    graph: Graph,
+    path: str | os.PathLike[str] | io.TextIOBase,
+    *,
+    header: bool = True,
+) -> None:
+    """Write a graph as edge-list text (weights included when present)."""
+    src, dst, weight = graph.edge_arrays()
+
+    def _emit(handle: io.TextIOBase) -> None:
+        if header:
+            kind = "directed" if graph.directed else "undirected"
+            handle.write(
+                f"# repro graph: n={graph.num_vertices} "
+                f"m={graph.num_edges} {kind}\n"
+            )
+        if weight is None:
+            for u, v in zip(src.tolist(), dst.tolist()):
+                handle.write(f"{u} {v}\n")
+        else:
+            for u, v, w in zip(src.tolist(), dst.tolist(), weight.tolist()):
+                handle.write(f"{u} {v} {w:.6g}\n")
+
+    if isinstance(path, io.TextIOBase):
+        _emit(path)
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            _emit(handle)
+
+
+def save_binary(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Persist the CSR arrays as a compressed ``.npz`` archive."""
+    payload = {
+        "magic": np.frombuffer(_BINARY_MAGIC.encode(), dtype=np.uint8),
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "directed": np.asarray([graph.directed]),
+        "num_edges": np.asarray([graph.num_edges], dtype=np.int64),
+    }
+    if graph.weights is not None:
+        payload["weights"] = graph.weights
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_binary(path: str | os.PathLike[str]) -> Graph:
+    """Load a graph saved with :func:`save_binary`."""
+    with np.load(Path(path)) as archive:
+        magic = bytes(archive["magic"].tobytes()).decode()
+        if magic != _BINARY_MAGIC:
+            raise GraphFormatError(f"unrecognized binary graph magic: {magic!r}")
+        weights = archive["weights"] if "weights" in archive.files else None
+        return Graph.from_arrays(
+            archive["indptr"],
+            archive["indices"],
+            weights=weights,
+            directed=bool(archive["directed"][0]),
+            num_edges=int(archive["num_edges"][0]),
+        )

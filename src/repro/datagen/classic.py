@@ -1,0 +1,181 @@
+"""Classic random-graph generators discussed in the paper's related work:
+Erdős–Rényi, Watts–Strogatz, and Barabási–Albert.
+
+These serve as comparison baselines for FFT-DG's realism experiments and
+as workload sources for tests and examples.  All are deterministic given a
+seed and return :class:`~repro.datagen.base.GenerationResult` so the trial
+accounting is comparable with FFT-DG/LDBC-DG (each attempted edge is one
+trial).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.datagen.base import GenerationResult, TrialCounter
+from repro.errors import GeneratorParameterError
+
+__all__ = [
+    "erdos_renyi_gnp",
+    "erdos_renyi_gnm",
+    "watts_strogatz",
+    "barabasi_albert",
+]
+
+
+def erdos_renyi_gnp(n: int, p: float, *, seed: int = 0) -> GenerationResult:
+    """G(n, p): every vertex pair connected independently with prob ``p``."""
+    if n < 0:
+        raise GeneratorParameterError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise GeneratorParameterError(f"p must be in [0, 1], got {p}")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    counter = TrialCounter()
+    if n < 2 or p == 0.0:
+        graph = Graph.from_edges([], [], num_vertices=n)
+        counter.trials = n * (n - 1) // 2
+        return _result(graph, counter, start, {"generator": "ER-Gnp", "n": n, "p": p})
+    iu = np.triu_indices(n, k=1)
+    hits = rng.random(iu[0].shape[0]) < p
+    counter.trials = int(iu[0].shape[0])
+    counter.edges = int(hits.sum())
+    graph = Graph.from_edges(iu[0][hits], iu[1][hits], num_vertices=n)
+    return _result(graph, counter, start, {"generator": "ER-Gnp", "n": n, "p": p})
+
+
+def erdos_renyi_gnm(n: int, m: int, *, seed: int = 0) -> GenerationResult:
+    """G(n, m): exactly ``m`` distinct edges drawn uniformly."""
+    if n < 0 or m < 0:
+        raise GeneratorParameterError("n and m must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GeneratorParameterError(
+            f"m={m} exceeds max simple edges {max_edges} for n={n}"
+        )
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    counter = TrialCounter()
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        need = m - len(chosen)
+        u = rng.integers(0, n, size=2 * need + 8)
+        v = rng.integers(0, n, size=2 * need + 8)
+        for a, b in zip(u.tolist(), v.tolist()):
+            counter.record_trial(False)
+            if a == b:
+                continue
+            key = (a, b) if a < b else (b, a)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            counter.edges += 1
+            if len(chosen) == m:
+                break
+    src = np.fromiter((e[0] for e in chosen), dtype=np.int64, count=len(chosen))
+    dst = np.fromiter((e[1] for e in chosen), dtype=np.int64, count=len(chosen))
+    graph = Graph.from_edges(src, dst, num_vertices=n)
+    return _result(graph, counter, start, {"generator": "ER-Gnm", "n": n, "m": m})
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, *, seed: int = 0
+) -> GenerationResult:
+    """Small-world ring lattice with rewiring probability ``beta``.
+
+    ``k`` must be even: each vertex starts connected to its ``k/2``
+    nearest neighbours on each side.
+    """
+    if n < 3:
+        raise GeneratorParameterError(f"n must be >= 3, got {n}")
+    if k < 2 or k % 2 or k >= n:
+        raise GeneratorParameterError(f"k must be even and in [2, n), got {k}")
+    if not 0.0 <= beta <= 1.0:
+        raise GeneratorParameterError(f"beta must be in [0, 1], got {beta}")
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    counter = TrialCounter()
+    edges: set[tuple[int, int]] = set()
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            u = (v + offset) % n
+            edges.add((min(v, u), max(v, u)))
+    rewired: set[tuple[int, int]] = set()
+    for (a, b) in sorted(edges):
+        counter.record_trial(True)
+        if rng.random() < beta:
+            # Rewire the far endpoint to a uniform non-neighbour.
+            for _ in range(8):  # bounded retries keep generation total
+                c = int(rng.integers(0, n))
+                key = (min(a, c), max(a, c))
+                if c != a and key not in rewired and key not in edges:
+                    rewired.add(key)
+                    break
+            else:
+                rewired.add((a, b))
+        else:
+            rewired.add((a, b))
+    src = np.fromiter((e[0] for e in rewired), dtype=np.int64, count=len(rewired))
+    dst = np.fromiter((e[1] for e in rewired), dtype=np.int64, count=len(rewired))
+    graph = Graph.from_edges(src, dst, num_vertices=n)
+    return _result(
+        graph, counter, start,
+        {"generator": "Watts-Strogatz", "n": n, "k": k, "beta": beta},
+    )
+
+
+def barabasi_albert(n: int, m_per_vertex: int, *, seed: int = 0) -> GenerationResult:
+    """Preferential attachment: each arriving vertex links to ``m`` targets
+    chosen proportionally to current degree, yielding a power-law graph."""
+    if m_per_vertex < 1:
+        raise GeneratorParameterError(
+            f"m_per_vertex must be >= 1, got {m_per_vertex}"
+        )
+    if n <= m_per_vertex:
+        raise GeneratorParameterError(
+            f"n must exceed m_per_vertex ({n} <= {m_per_vertex})"
+        )
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    counter = TrialCounter()
+    # repeated_targets implements degree-proportional sampling by holding
+    # one entry per edge endpoint.
+    repeated_targets: list[int] = list(range(m_per_vertex))
+    src: list[int] = []
+    dst: list[int] = []
+    for v in range(m_per_vertex, n):
+        targets: set[int] = set()
+        while len(targets) < m_per_vertex:
+            counter.record_trial(False)
+            pick = repeated_targets[int(rng.integers(0, len(repeated_targets)))]
+            if pick not in targets:
+                targets.add(pick)
+                counter.edges += 1
+        for t in targets:
+            src.append(v)
+            dst.append(t)
+            repeated_targets.append(v)
+            repeated_targets.append(t)
+    graph = Graph.from_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        num_vertices=n,
+    )
+    return _result(
+        graph, counter, start,
+        {"generator": "Barabasi-Albert", "n": n, "m_per_vertex": m_per_vertex},
+    )
+
+
+def _result(
+    graph: Graph, counter: TrialCounter, start: float, params: dict
+) -> GenerationResult:
+    return GenerationResult(
+        graph=graph,
+        counter=counter,
+        elapsed_seconds=time.perf_counter() - start,
+        parameters=params,
+    )

@@ -1,0 +1,101 @@
+"""Dynamic graph streams (the WGB-style workload from related work).
+
+The paper's Table 1 credits WGB with a dynamic-graph generator for
+evaluating systems under evolving workloads.  This module provides that
+capability on top of FFT-DG: a deterministic stream of edge-insertion
+batches whose union is an FFT-DG graph, plus snapshot materialization —
+the substrate for the incremental-algorithm extension in
+:mod:`repro.algorithms.incremental`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.datagen.fft import FFTDG, FFTDGConfig
+from repro.errors import GeneratorParameterError
+
+__all__ = ["EdgeBatch", "DynamicGraphStream", "generate_stream"]
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One time window's edge insertions."""
+
+    time: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of inserted edges."""
+        return int(self.src.shape[0])
+
+
+class DynamicGraphStream:
+    """A sequence of edge-insertion batches over a fixed vertex set."""
+
+    def __init__(self, num_vertices: int, batches: list[EdgeBatch]) -> None:
+        self.num_vertices = num_vertices
+        self.batches = batches
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def __iter__(self):
+        return iter(self.batches)
+
+    @property
+    def total_edges(self) -> int:
+        """Edges across all batches (before dedup)."""
+        return sum(batch.size for batch in self.batches)
+
+    def snapshot(self, upto: int) -> Graph:
+        """Graph containing all edges of batches ``0..upto`` inclusive."""
+        if not 0 <= upto < len(self.batches):
+            raise GeneratorParameterError(
+                f"snapshot index {upto} out of range [0, {len(self.batches)})"
+            )
+        src = np.concatenate([b.src for b in self.batches[: upto + 1]])
+        dst = np.concatenate([b.dst for b in self.batches[: upto + 1]])
+        return Graph.from_edges(src, dst, num_vertices=self.num_vertices)
+
+    def final_graph(self) -> Graph:
+        """The union of every batch."""
+        return self.snapshot(len(self.batches) - 1)
+
+
+def generate_stream(
+    num_vertices: int,
+    *,
+    num_batches: int = 10,
+    alpha: float = 20.0,
+    seed: int = 0,
+) -> DynamicGraphStream:
+    """Generate an FFT-DG graph and split its edges into arrival batches.
+
+    Edges arrive in random order (social networks densify everywhere,
+    not front-to-back), so every batch touches the whole vertex range —
+    the WGB dynamic-workload shape.
+    """
+    if num_batches < 1:
+        raise GeneratorParameterError(
+            f"num_batches must be >= 1, got {num_batches}"
+        )
+    graph = FFTDG(
+        FFTDGConfig(num_vertices=num_vertices, alpha=alpha, seed=seed)
+    ).generate().graph
+    src, dst, _ = graph.edge_arrays()
+    rng = np.random.default_rng(seed + 7)
+    order = rng.permutation(src.shape[0])
+    src, dst = src[order], dst[order]
+    bounds = np.linspace(0, src.shape[0], num_batches + 1).astype(np.int64)
+    batches = [
+        EdgeBatch(time=t, src=src[bounds[t]: bounds[t + 1]],
+                  dst=dst[bounds[t]: bounds[t + 1]])
+        for t in range(num_batches)
+    ]
+    return DynamicGraphStream(num_vertices=num_vertices, batches=batches)

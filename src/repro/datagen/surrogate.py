@@ -1,0 +1,182 @@
+"""LiveJournal surrogate — the stand-in real-world ground truth.
+
+The paper's generator-similarity study (Section 8.1, Table 8, Fig. 7)
+uses the SNAP LiveJournal graph as ground truth.  That dataset is not
+available offline, so this module builds a synthetic surrogate that
+matches LiveJournal's *published* structural profile, which is all the
+comparison exercises:
+
+* heavy-tailed (power-law) degree distribution,
+* strong, planted community structure with power-law community sizes,
+* high within-community clustering (LiveJournal avg. CC ≈ 0.27),
+* low conductance communities,
+* effective diameter ≈ 6.
+
+The construction is a planted-partition model: community sizes drawn from
+a truncated power law; dense intra-community wiring with triadic closure
+(to push CC and TPR up); sparse inter-community edges through a
+preferential hub layer (to keep the diameter small and the degree tail
+heavy).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.datagen.base import GenerationResult, TrialCounter
+from repro.errors import GeneratorParameterError
+
+__all__ = ["livejournal_surrogate"]
+
+
+def livejournal_surrogate(
+    num_vertices: int = 2000,
+    *,
+    mean_degree: float = 14.0,
+    community_exponent: float = 2.2,
+    min_community: int = 8,
+    max_community: int = 120,
+    closure_rounds: int = 2,
+    seed: int = 42,
+) -> GenerationResult:
+    """Generate the LiveJournal-profile ground-truth surrogate graph.
+
+    Parameters default to a 2 000-vertex graph whose community statistics
+    (CC, TPR, conductance, sizes) sit in LiveJournal's published ranges;
+    the benchmark only consumes their *distributions*.
+    """
+    if num_vertices < max(2, min_community):
+        raise GeneratorParameterError(
+            f"num_vertices must be >= min_community, got {num_vertices}"
+        )
+    if not 1.0 < community_exponent < 4.0:
+        raise GeneratorParameterError(
+            f"community_exponent must be in (1, 4), got {community_exponent}"
+        )
+    start = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    counter = TrialCounter()
+
+    sizes = _community_sizes(
+        num_vertices, community_exponent, min_community, max_community, rng
+    )
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+
+    src: list[int] = []
+    dst: list[int] = []
+
+    # Intra-community wiring: a ring for connectivity plus random chords,
+    # then triadic closure to lift clustering towards LiveJournal's.
+    for c, size in enumerate(sizes):
+        base = int(offsets[c])
+        members = np.arange(base, base + size)
+        _wire_community(members, mean_degree, closure_rounds, rng, src, dst,
+                        counter)
+
+    # Inter-community edges through a preferential hub layer: each
+    # community nominates hubs proportional to size, hubs connect across
+    # communities preferentially, producing the heavy degree tail and a
+    # small effective diameter.
+    hubs = [int(offsets[c]) for c in range(len(sizes))]
+    hub_weights = sizes.astype(np.float64)
+    hub_probs = hub_weights / hub_weights.sum()
+    inter_edges = max(len(sizes) - 1, int(0.08 * mean_degree * num_vertices / 2))
+    # A hub spanning chain guarantees global connectivity.
+    for c in range(len(sizes) - 1):
+        src.append(hubs[c])
+        dst.append(hubs[c + 1])
+        counter.record_trial(True)
+    for _ in range(inter_edges):
+        c1, c2 = rng.choice(len(sizes), size=2, p=hub_probs)
+        counter.record_trial(c1 != c2)
+        if c1 == c2:
+            continue
+        # Mostly hub-to-hub, sometimes hub-to-random-member.
+        a = hubs[c1]
+        if rng.random() < 0.5:
+            b = hubs[c2]
+        else:
+            b = int(offsets[c2] + rng.integers(0, sizes[c2]))
+        src.append(a)
+        dst.append(b)
+
+    graph = Graph.from_edges(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        num_vertices=num_vertices,
+    )
+    return GenerationResult(
+        graph=graph,
+        counter=counter,
+        elapsed_seconds=time.perf_counter() - start,
+        parameters={
+            "generator": "LiveJournal-surrogate",
+            "n": num_vertices,
+            "mean_degree": mean_degree,
+            "communities": len(sizes),
+            "seed": seed,
+        },
+    )
+
+
+def _community_sizes(
+    n: int, exponent: float, lo: int, hi: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Truncated power-law community sizes summing exactly to ``n``."""
+    sizes: list[int] = []
+    remaining = n
+    while remaining > 0:
+        u = rng.random()
+        # Inverse-CDF of a bounded Pareto on [lo, hi].
+        a = 1.0 - exponent
+        size = int(((hi ** a - lo ** a) * u + lo ** a) ** (1.0 / a))
+        size = max(lo, min(size, hi, remaining))
+        if remaining - size < lo and remaining - size > 0:
+            size = remaining  # fold the tail into the last community
+        sizes.append(size)
+        remaining -= size
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def _wire_community(
+    members: np.ndarray,
+    mean_degree: float,
+    closure_rounds: int,
+    rng: np.random.Generator,
+    src: list[int],
+    dst: list[int],
+    counter: TrialCounter,
+) -> None:
+    """Ring + chords + triadic closure inside one community."""
+    size = members.shape[0]
+    if size < 2:
+        return
+    adjacency: dict[int, set[int]] = {int(v): set() for v in members}
+
+    def _add(a: int, b: int) -> None:
+        if a == b or b in adjacency[a]:
+            counter.record_trial(False)
+            return
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        src.append(a)
+        dst.append(b)
+        counter.record_trial(True)
+
+    for idx in range(size):
+        _add(int(members[idx]), int(members[(idx + 1) % size]))
+    chords = int(max(0.0, (mean_degree * 0.8 - 2.0)) * size / 2)
+    for _ in range(chords):
+        a, b = rng.choice(members, size=2)
+        _add(int(a), int(b))
+    for _ in range(closure_rounds):
+        # Close one wedge per vertex: connect two random neighbours.
+        for v in members.tolist():
+            neigh = list(adjacency[v])
+            if len(neigh) < 2:
+                continue
+            a, b = rng.choice(neigh, size=2, replace=False)
+            _add(int(a), int(b))

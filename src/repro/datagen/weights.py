@@ -1,0 +1,47 @@
+"""Edge-weight assignment for weighted workloads (SSSP, weighted BC).
+
+Benchmark graphs are generated unweighted; SSSP experiments attach weights
+afterwards.  All assignments are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import GeneratorParameterError
+
+__all__ = ["uniform_weights", "exponential_weights", "unit_weights"]
+
+
+def unit_weights(graph: Graph) -> Graph:
+    """All edges weighted 1.0 (turns SSSP into hop distance)."""
+    m = graph.num_edges
+    return graph.with_weights(np.ones(m, dtype=np.float64))
+
+
+def uniform_weights(
+    graph: Graph, *, low: float = 1.0, high: float = 100.0, seed: int = 0
+) -> Graph:
+    """Independent uniform weights on ``[low, high)`` (LDBC's scheme)."""
+    if low <= 0 or high <= low:
+        raise GeneratorParameterError(
+            f"need 0 < low < high, got low={low} high={high}"
+        )
+    rng = np.random.default_rng(seed)
+    return graph.with_weights(rng.uniform(low, high, size=graph.num_edges))
+
+
+def exponential_weights(
+    graph: Graph, *, scale: float = 10.0, seed: int = 0
+) -> Graph:
+    """Exponential weights (heavy short-edge mass, road-network-like).
+
+    A small epsilon keeps weights strictly positive so Dijkstra's
+    preconditions hold.
+    """
+    if scale <= 0:
+        raise GeneratorParameterError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    weights = rng.exponential(scale, size=graph.num_edges) + 1e-6
+    return graph.with_weights(weights)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Subsystems raise the most specific subclass that
+applies; errors never pass silently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed (bad edge list, bad header,
+    out-of-range vertex ids, negative weights where forbidden)."""
+
+
+class GraphStructureError(ReproError):
+    """Raised when an operation is applied to a graph that does not satisfy
+    its structural requirements (e.g. weighted SSSP on an unweighted graph)."""
+
+
+class GeneratorParameterError(ReproError):
+    """Raised when a data generator receives invalid parameters
+    (e.g. negative vertex count, density factor < 1, group size of zero)."""
+
+
+class PlatformError(ReproError):
+    """Base class for simulated-platform errors."""
+
+
+class UnsupportedAlgorithmError(PlatformError):
+    """Raised when an algorithm cannot be expressed on a platform's
+    computing model (the paper's 7 unimplemented cases of 56)."""
+
+
+class OutOfMemoryError(PlatformError):
+    """Raised by the cluster memory model when a platform's working set
+    exceeds the simulated cluster capacity (stress-test experiments)."""
+
+
+class ClusterConfigError(PlatformError):
+    """Raised for invalid simulated-cluster configurations
+    (zero machines, non-positive bandwidth, etc.)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative computation exceeds its iteration budget
+    without converging and the caller required convergence."""
+
+
+class UsabilityError(ReproError):
+    """Raised by the API-usability framework for invalid prompt levels,
+    unknown platforms, or malformed evaluation inputs."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness for misconfigured experiments."""

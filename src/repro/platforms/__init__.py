@@ -1,0 +1,24 @@
+"""Simulated graph-analytics platforms.
+
+Four computing-model engines (vertex-, edge-, block-, subgraph-centric)
+host seven platform personalities: GraphX, PowerGraph, Flash, Grape,
+Pregel+, Ligra, and G-thinker.  Use :func:`get_platform` to obtain one
+and :meth:`~repro.platforms.base.Platform.run` to execute an algorithm.
+"""
+
+from repro.platforms.base import CORE_ALGORITHMS, Platform, PlatformRunResult
+from repro.platforms.profile import PROFILES, PlatformProfile, get_profile, platform_names
+from repro.platforms.registry import all_platforms, coverage_matrix, get_platform
+
+__all__ = [
+    "CORE_ALGORITHMS",
+    "Platform",
+    "PlatformRunResult",
+    "PROFILES",
+    "PlatformProfile",
+    "get_profile",
+    "platform_names",
+    "get_platform",
+    "all_platforms",
+    "coverage_matrix",
+]

@@ -1,0 +1,2 @@
+"""Block-centric engine and platform: Grape's PEval/IncEval model —
+sequential kernels inside contiguous blocks, messages on cut edges."""

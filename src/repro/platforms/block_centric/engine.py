@@ -1,0 +1,76 @@
+"""Block-centric engine (Grape's PEval/IncEval model).
+
+The graph is split into contiguous blocks (one per logical part); each
+worker runs a *sequential* algorithm over its whole block — no per-vertex
+message passing inside a block — and workers exchange messages only over
+cut edges between rounds.  This is why Grape needs few synchronizations
+(rounds track block-crossings, not graph diameter) and why its per-round
+compute is as cheap as a textbook sequential kernel (Section 8.2).
+
+Algorithms are written against this engine as paired PEval (initial
+round) / IncEval (incremental rounds) passes in
+:mod:`repro.platforms.block_centric.algorithms`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cost import TraceRecorder
+from repro.core.graph import Graph
+from repro.core.partition import range_partition
+
+__all__ = ["BlockCentricEngine"]
+
+
+class BlockCentricEngine:
+    """Block bookkeeping plus metering helpers for PEval/IncEval passes."""
+
+    def __init__(self, graph: Graph, recorder: TraceRecorder) -> None:
+        self.graph = graph
+        self.recorder = recorder
+        self.parts = recorder.parts
+        partition = range_partition(graph, self.parts)
+        self.block_of = partition.owner
+        self.blocks = [partition.members(b) for b in range(self.parts)]
+        self._step_ops: np.ndarray | None = None
+
+    # -- round management -----------------------------------------------
+
+    def begin_round(self) -> None:
+        """Open one PEval/IncEval round (a BSP superstep)."""
+        self.recorder.begin_superstep()
+        self._step_ops = np.zeros(self.parts)
+
+    def end_round(self) -> None:
+        """Seal the round, flushing accumulated per-block ops."""
+        for b in range(self.parts):
+            if self._step_ops[b]:
+                self.recorder.add_compute(b, float(self._step_ops[b]))
+        self._step_ops = None
+        self.recorder.end_superstep()
+
+    def charge(self, block: int, ops: float) -> None:
+        """Charge sequential-kernel work to one block's worker."""
+        self._step_ops[block] += ops
+
+    def send(self, src_block: int, dst_block: int, nbytes: float = 8.0,
+             count: int = 1) -> None:
+        """Meter boundary messages between blocks."""
+        self.recorder.add_message(src_block, dst_block, nbytes, count=count)
+
+    # -- structure helpers ------------------------------------------------
+
+    def is_cut_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` crosses a block boundary."""
+        return self.block_of[u] != self.block_of[v]
+
+    def local_neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of ``v`` inside its own block."""
+        neigh = self.graph.neighbors(v)
+        return neigh[self.block_of[neigh] == self.block_of[v]]
+
+    def remote_neighbors(self, v: int) -> np.ndarray:
+        """Neighbours of ``v`` in other blocks."""
+        neigh = self.graph.neighbors(v)
+        return neigh[self.block_of[neigh] != self.block_of[v]]

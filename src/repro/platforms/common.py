@@ -1,0 +1,60 @@
+"""Shared helpers for platform algorithm implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+
+__all__ = [
+    "forward_adjacency",
+    "vertex_order_positions",
+    "adjacency_shipping_bytes",
+]
+
+
+def vertex_order_positions(graph: Graph) -> np.ndarray:
+    """Position of each vertex in the (degree, id) total order.
+
+    Orienting edges from lower to higher position makes the orientation
+    acyclic with forward degrees bounded by O(sqrt(m)), the standard
+    trick behind O(m^1.5) triangle counting.
+    """
+    n = graph.num_vertices
+    degrees = graph.out_degrees()
+    rank = np.lexsort((np.arange(n), degrees))
+    position = np.empty(n, dtype=np.int64)
+    position[rank] = np.arange(n)
+    return position
+
+
+def adjacency_shipping_bytes(
+    graph: Graph, *, envelope_bytes: float
+) -> tuple[float, float]:
+    """(payload, envelope) bytes of a forward-adjacency broadcast.
+
+    Triangle counting on message-passing models ships each vertex's
+    forward list to each forward neighbour: payload is
+    ``8 * sum(fdeg^2)``, envelopes one per forward edge.
+    """
+    und = graph.to_undirected()
+    position = vertex_order_positions(und)
+    payload = 0.0
+    messages = 0.0
+    for v in range(und.num_vertices):
+        neigh = und.neighbors(v)
+        fdeg = int((position[neigh] > position[v]).sum())
+        payload += 8.0 * fdeg * fdeg
+        messages += fdeg
+    return payload, envelope_bytes * messages
+
+
+def forward_adjacency(graph: Graph) -> list[np.ndarray]:
+    """Sorted higher-position neighbour arrays, one per vertex."""
+    und = graph.to_undirected()
+    position = vertex_order_positions(und)
+    forward = []
+    for v in range(und.num_vertices):
+        neigh = und.neighbors(v)
+        forward.append(np.sort(neigh[position[neigh] > position[v]]))
+    return forward

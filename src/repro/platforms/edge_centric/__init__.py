@@ -1,0 +1,2 @@
+"""Edge-centric engine and platform: PowerGraph's Gather-Apply-Scatter
+model over a greedy vertex-cut placement."""

@@ -1,0 +1,57 @@
+"""The seven evaluated platforms, instantiated and indexed.
+
+Reproduces the paper's coverage matrix (Section 8.2): 49 of the 56
+platform × algorithm cases are implementable — Pregel+ cannot express CD
+(no cross-superstep coreness state), and G-thinker's subgraph-centric
+model cannot express the six non-subgraph algorithms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import PlatformError
+from repro.platforms.base import CORE_ALGORITHMS, Platform
+from repro.platforms.block_centric.platform import BlockCentricPlatform
+from repro.platforms.edge_centric.platform import EdgeCentricPlatform
+from repro.platforms.profile import PROFILES, get_profile
+from repro.platforms.subgraph_centric.platform import SubgraphCentricPlatform
+from repro.platforms.vertex_centric.platform import VertexCentricPlatform
+
+__all__ = ["get_platform", "all_platforms", "coverage_matrix"]
+
+
+@lru_cache(maxsize=None)
+def get_platform(name: str) -> Platform:
+    """Instantiate (and cache) a platform by name or abbreviation.
+
+    Accepted names: GraphX, PowerGraph, Flash, Grape, Pregel+, Ligra,
+    G-thinker (or their two-letter abbreviations from Table 6).
+    """
+    profile = get_profile(name)
+    if profile.name == "PowerGraph":
+        return EdgeCentricPlatform(profile)
+    if profile.name == "Grape":
+        return BlockCentricPlatform(profile)
+    if profile.name == "G-thinker":
+        return SubgraphCentricPlatform(profile)
+    if profile.name == "Pregel+":
+        # Pregel+'s interface lacks support for managing coreness state
+        # across supersteps (Section 8.2).
+        return VertexCentricPlatform(profile, unsupported=("cd",))
+    if profile.name in ("GraphX", "Flash", "Ligra"):
+        return VertexCentricPlatform(profile)
+    raise PlatformError(f"no platform wiring for profile {profile.name!r}")
+
+
+def all_platforms() -> list[Platform]:
+    """All seven platforms in Table-6 order."""
+    return [get_platform(name) for name in PROFILES]
+
+
+def coverage_matrix() -> dict[str, dict[str, bool]]:
+    """``{platform: {algorithm: supported}}`` — the 49/56 matrix."""
+    return {
+        platform.name: {a: platform.supports(a) for a in CORE_ALGORITHMS}
+        for platform in all_platforms()
+    }

@@ -1,0 +1,2 @@
+"""Subgraph-centric engine and platform: G-thinker's task model for
+graph-mining workloads (TC, KC, LCC)."""

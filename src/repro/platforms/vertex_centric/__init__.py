@@ -1,0 +1,3 @@
+"""Vertex-centric ("Think Like a Vertex") engine and platforms:
+GraphX, Pregel+, Flash, and Ligra personalities over a synchronous
+Pregel-style BSP executor."""

@@ -1,0 +1,104 @@
+"""Vertex-centric implementations of the LDBC comparison algorithms
+(BFS and LCC).
+
+These are not part of the paper's core-eight suite — they are LDBC
+Graphalytics' remaining algorithms, kept so the benchmark-vs-benchmark
+diversity comparison (Section 3) can run both suites side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.errors import GraphStructureError
+from repro.platforms.common import forward_adjacency
+from repro.platforms.vertex_centric.engine import VertexContext, VertexProgram
+
+__all__ = ["BFSProgram", "LCCProgram"]
+
+
+class BFSProgram(VertexProgram):
+    """Frontier BFS: each discovered vertex forwards the next level.
+
+    One superstep per level — LDBC's canonical traversal workload.
+    """
+
+    combine = staticmethod(min)
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+        self.levels: np.ndarray | None = None
+
+    def setup(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        if not 0 <= self.source < n:
+            raise GraphStructureError(f"source {self.source} out of range")
+        self.levels = np.full(n, -1, dtype=np.int64)
+
+    def initial_frontier(self, graph: Graph):
+        return [self.source]
+
+    def compute(self, v: int, messages, ctx: VertexContext) -> None:
+        if self.levels[v] >= 0:
+            return
+        if ctx.superstep == 0 and v == self.source:
+            self.levels[v] = 0
+        elif messages:
+            self.levels[v] = ctx.superstep
+        else:
+            return
+        ctx.send_to_neighbors(v, self.levels[v] + 1)
+
+
+class LCCProgram(VertexProgram):
+    """Local clustering coefficient via adjacency-list exchange.
+
+    Superstep 0 ships forward adjacency lists along forward edges
+    (as in TC); superstep 1 intersects and *credits every triangle
+    corner* — the endpoint pair locally, the third vertex by message;
+    superstep 2 folds late credits and normalizes by the wedge count.
+    """
+
+    def __init__(self) -> None:
+        self.lcc: np.ndarray | None = None
+        self._triangles: np.ndarray | None = None
+        self._forward: list[np.ndarray] | None = None
+
+    def setup(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        self.lcc = np.zeros(n, dtype=np.float64)
+        self._triangles = np.zeros(n, dtype=np.int64)
+        self._forward = forward_adjacency(graph)
+
+    def compute(self, v: int, messages, ctx: VertexContext) -> None:
+        fv = self._forward[v]
+        if ctx.superstep == 0:
+            ctx.charge(v, float(ctx.graph.degree(v)))
+            if fv.size:
+                nbytes = 8.0 * (1 + fv.size)
+                for u in fv.tolist():
+                    ctx.send(v, u, ("adj", v, fv), nbytes=nbytes)
+            ctx.activate(v)  # everyone normalizes at the end
+            return
+        credits = 0
+        for message in messages:
+            if message[0] == "adj":
+                _, sender, their_forward = message
+                common = np.intersect1d(their_forward, fv,
+                                        assume_unique=True)
+                ctx.charge(v, float(their_forward.size + fv.size))
+                if common.size:
+                    credits += common.size
+                    ctx.send(v, sender, ("credit", int(common.size), None))
+                    for w in common.tolist():
+                        ctx.send(v, w, ("credit", 1, None))
+            else:
+                credits += message[1]
+        self._triangles[v] += credits
+        if ctx.superstep == 1:
+            ctx.activate(v)
+            return
+        degree = ctx.graph.degree(v)
+        wedges = degree * (degree - 1)
+        self.lcc[v] = 2.0 * self._triangles[v] / wedges if wedges else 0.0

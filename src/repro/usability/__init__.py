@@ -1,0 +1,64 @@
+"""Multi-level LLM-based API usability evaluation framework (Section 5).
+
+Pipeline: :func:`instruction_tune` builds a platform Code Generator →
+:func:`evaluate_usability` generates code at a prompt level and scores
+it with the Code Evaluator (compliance 35% / correctness 35% /
+readability 30%) → :func:`validate_against_humans` checks the ranking
+against the paper's 80-person human panel via Spearman's rho.
+
+The GPT-4o backend is replaced by a deterministic simulated LLM whose
+error model is parameterized by per-platform learnability traits (see
+DESIGN.md's substitution table).
+"""
+
+from repro.usability.apis import API_SPECS, ApiFunction, ApiSpec, get_api_spec
+from repro.usability.prompts import (
+    PromptLevel,
+    TASK_DESCRIPTIONS,
+    build_prompt,
+    knowledge_fraction,
+)
+from repro.usability.reference_code import reference_code
+from repro.usability.generator import CodeGenerator, GeneratedCode, instruction_tune
+from repro.usability.evaluator import CodeEvaluator, CodeScores
+from repro.usability.scoring import (
+    ScoreWeights,
+    UsabilityScore,
+    evaluate_usability,
+    usability_by_algorithm,
+    usability_table,
+)
+from repro.usability.human import (
+    HUMAN_SCORES,
+    PAPER_LLM_SCORES,
+    PAPER_SPEARMAN,
+    ValidationResult,
+    validate_against_humans,
+)
+
+__all__ = [
+    "API_SPECS",
+    "ApiFunction",
+    "ApiSpec",
+    "get_api_spec",
+    "PromptLevel",
+    "TASK_DESCRIPTIONS",
+    "build_prompt",
+    "knowledge_fraction",
+    "reference_code",
+    "CodeGenerator",
+    "GeneratedCode",
+    "instruction_tune",
+    "CodeEvaluator",
+    "CodeScores",
+    "ScoreWeights",
+    "UsabilityScore",
+    "evaluate_usability",
+    "usability_by_algorithm",
+    "usability_table",
+    "HUMAN_SCORES",
+    "PAPER_LLM_SCORES",
+    "PAPER_SPEARMAN",
+    "ValidationResult",
+    "validate_against_humans",
+]

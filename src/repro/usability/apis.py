@@ -1,0 +1,303 @@
+"""Platform API specifications for the usability framework.
+
+Each platform's *lowest-level* public API is described here — the paper
+evaluates those rather than high-level wrappers (Section 5.2): Pregel+'s
+``compute()``/``reducer()``, PowerGraph's ``gather/apply/scatter``,
+Ligra's ``vertexMap/edgeMap``, Grape's ``PEval/IncEval``, and so on.
+
+Each spec also carries *learnability traits*: a novice and an expert
+difficulty in [0, 1].  These parameterize the simulated code generator's
+error model and are fitted to the paper's published usability study
+(Fig. 13 / Table 12) — the documented substitution for GPT-4o (see
+DESIGN.md): GraphX's high-level Scala API is easy at every level, Grape
+is hardest for juniors but rewards expertise, Flash/Ligra/G-thinker's
+traversal abstractions have a learning bump that fades with experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UsabilityError
+
+__all__ = ["ApiFunction", "ApiSpec", "API_SPECS", "get_api_spec"]
+
+
+@dataclass(frozen=True)
+class ApiFunction:
+    """One public API entry point."""
+
+    name: str
+    signature: str
+    doc: str
+
+
+@dataclass(frozen=True)
+class ApiSpec:
+    """A platform's lowest-level API plus its learnability traits."""
+
+    platform: str
+    language: str
+    functions: tuple[ApiFunction, ...]
+    novice_difficulty: float   # error propensity with no platform knowledge
+    expert_difficulty: float   # residual error propensity for experts
+
+    def __post_init__(self) -> None:
+        for value in (self.novice_difficulty, self.expert_difficulty):
+            if not 0.0 <= value <= 1.0:
+                raise UsabilityError(
+                    f"difficulty must be in [0, 1], got {value}"
+                )
+
+    def function_names(self) -> list[str]:
+        """Names of all API entry points."""
+        return [f.name for f in self.functions]
+
+    def anonymized(self) -> "ApiSpec":
+        """Spec with platform-identifying names masked (Section 5.2:
+        identifiers are anonymized so evaluation reflects design, not
+        brand familiarity)."""
+        masked = tuple(
+            ApiFunction(
+                name=f"api_fn_{i}",
+                signature=f.signature.replace(f.name, f"api_fn_{i}"),
+                doc=f.doc,
+            )
+            for i, f in enumerate(self.functions)
+        )
+        return ApiSpec(
+            platform="platform_x",
+            language=self.language,
+            functions=masked,
+            novice_difficulty=self.novice_difficulty,
+            expert_difficulty=self.expert_difficulty,
+        )
+
+
+API_SPECS: dict[str, ApiSpec] = {
+    spec.platform: spec
+    for spec in (
+        ApiSpec(
+            platform="GraphX",
+            language="Scala",
+            functions=(
+                ApiFunction(
+                    "pregel",
+                    "graph.pregel(initialMsg, maxIter)(vprog, sendMsg, mergeMsg)",
+                    "Runs a Pregel-style iteration over the graph; vprog "
+                    "updates a vertex from its merged inbox, sendMsg emits "
+                    "messages along triplets, mergeMsg combines messages.",
+                ),
+                ApiFunction(
+                    "aggregateMessages",
+                    "graph.aggregateMessages[A](sendMsg, mergeMsg)",
+                    "One round of message aggregation returning a VertexRDD.",
+                ),
+                ApiFunction(
+                    "mapVertices",
+                    "graph.mapVertices((id, attr) => newAttr)",
+                    "Transforms every vertex attribute.",
+                ),
+                ApiFunction(
+                    "outerJoinVertices",
+                    "graph.outerJoinVertices(table)(mapFunc)",
+                    "Joins an RDD of vertex values into the graph.",
+                ),
+            ),
+            novice_difficulty=0.34,
+            expert_difficulty=0.0,
+        ),
+        ApiSpec(
+            platform="PowerGraph",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "gather",
+                    "gather_type gather(icontext_type& ctx, const vertex_type& v, edge_type& e) const",
+                    "Folds one edge into the vertex's accumulator.",
+                ),
+                ApiFunction(
+                    "apply",
+                    "void apply(icontext_type& ctx, vertex_type& v, const gather_type& acc)",
+                    "Consumes the gathered accumulator to update the vertex.",
+                ),
+                ApiFunction(
+                    "scatter",
+                    "void scatter(icontext_type& ctx, const vertex_type& v, edge_type& e) const",
+                    "Signals neighbouring vertices after an update.",
+                ),
+                ApiFunction(
+                    "signal",
+                    "ctx.signal(vertex)",
+                    "Activates a vertex for the next GAS round.",
+                ),
+            ),
+            novice_difficulty=0.4,
+            expert_difficulty=0.216,
+        ),
+        ApiSpec(
+            platform="Flash",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "vertexSubset",
+                    "VSet U = All.Filter(cond)",
+                    "Materializes the set of vertices satisfying a condition.",
+                ),
+                ApiFunction(
+                    "vertexMap",
+                    "U = VertexMap(U, f, m)",
+                    "Applies m to each vertex of U passing filter f.",
+                ),
+                ApiFunction(
+                    "edgeMapDense",
+                    "U = EDenseMap(U, h, f, m, c)",
+                    "Pull-mode edge traversal over a dense frontier.",
+                ),
+                ApiFunction(
+                    "edgeMapSparse",
+                    "U = ESparseMap(U, h, f, m, c)",
+                    "Push-mode edge traversal over a sparse frontier.",
+                ),
+                ApiFunction(
+                    "getGlobal",
+                    "GetV(v) / global status access",
+                    "Reads any vertex's globally synchronized state.",
+                ),
+            ),
+            novice_difficulty=0.508,
+            expert_difficulty=0.068,
+        ),
+        ApiSpec(
+            platform="Grape",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "PEval",
+                    "void PEval(const fragment_t& frag, context_t& ctx, message_manager_t& messages)",
+                    "Runs the sequential algorithm over one fragment.",
+                ),
+                ApiFunction(
+                    "IncEval",
+                    "void IncEval(const fragment_t& frag, context_t& ctx, message_manager_t& messages)",
+                    "Incrementally refines the fragment from boundary updates.",
+                ),
+                ApiFunction(
+                    "SendMsgThroughOEdges",
+                    "messages.SendMsgThroughOEdges(frag, v, msg)",
+                    "Ships a value across every outgoing cut edge of v.",
+                ),
+                ApiFunction(
+                    "GetInnerVertices",
+                    "frag.InnerVertices()",
+                    "Iterates the fragment's owned vertex range.",
+                ),
+                ApiFunction(
+                    "partial_result",
+                    "ctx.partial_result[v]",
+                    "Per-vertex state shared between PEval and IncEval.",
+                ),
+            ),
+            novice_difficulty=0.545,
+            expert_difficulty=0.148,
+        ),
+        ApiSpec(
+            platform="Pregel+",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "compute",
+                    "virtual void compute(MessageContainer& messages)",
+                    "Per-vertex superstep function consuming the inbox.",
+                ),
+                ApiFunction(
+                    "send_message",
+                    "send_message(target, msg)",
+                    "Sends a message to any vertex for the next superstep.",
+                ),
+                ApiFunction(
+                    "vote_to_halt",
+                    "vote_to_halt()",
+                    "Deactivates the vertex until a message arrives.",
+                ),
+                ApiFunction(
+                    "reducer",
+                    "class Combiner : public Combiner<MessageT>",
+                    "Sender-side message combining (mirroring support).",
+                ),
+                ApiFunction(
+                    "aggregator",
+                    "class Agg : public Aggregator<...>",
+                    "Global value reduced across all vertices per superstep.",
+                ),
+            ),
+            novice_difficulty=0.476,
+            expert_difficulty=0.044,
+        ),
+        ApiSpec(
+            platform="Ligra",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "vertexMap",
+                    "vertexMap(U, F)",
+                    "Applies F to every vertex of the subset U.",
+                ),
+                ApiFunction(
+                    "edgeMap",
+                    "edgeMap(G, U, F, threshold)",
+                    "Maps F over edges out of U, auto-switching push/pull.",
+                ),
+                ApiFunction(
+                    "vertexSubset",
+                    "vertexSubset Frontier(n, start)",
+                    "A set of active vertices driving the traversal.",
+                ),
+                ApiFunction(
+                    "size",
+                    "U.size()",
+                    "Number of vertices in a subset.",
+                ),
+            ),
+            novice_difficulty=0.542,
+            expert_difficulty=0.111,
+        ),
+        ApiSpec(
+            platform="G-thinker",
+            language="C++",
+            functions=(
+                ApiFunction(
+                    "spawn",
+                    "virtual void task_spawn(VertexT* v)",
+                    "Creates mining tasks rooted at a vertex.",
+                ),
+                ApiFunction(
+                    "compute",
+                    "virtual bool compute(SubgraphT& g, ContextT& ctx, vector<VertexT*>& frontier)",
+                    "Expands one task's candidate subgraph; return false to end.",
+                ),
+                ApiFunction(
+                    "pull",
+                    "pull(vertex_id)",
+                    "Requests a remote vertex's adjacency into the task cache.",
+                ),
+                ApiFunction(
+                    "add_task",
+                    "add_task(task)",
+                    "Enqueues a follow-up task for the scheduler.",
+                ),
+            ),
+            novice_difficulty=0.67,
+            expert_difficulty=0.081,
+        ),
+    )
+}
+
+
+def get_api_spec(platform: str) -> ApiSpec:
+    """API spec by platform name."""
+    if platform not in API_SPECS:
+        raise UsabilityError(
+            f"unknown platform {platform!r}; choose from {list(API_SPECS)}"
+        )
+    return API_SPECS[platform]

@@ -1,0 +1,140 @@
+"""The Code Evaluator (Section 5.2, step 3).
+
+Scores a generated sample against the standard code on the paper's three
+metrics (weights in :mod:`repro.usability.scoring`):
+
+* **Compliance** — adherence to platform coding standards: how many of
+  the expected platform API calls appear, plus overall token-sequence
+  similarity to the standard code;
+* **Correctness** — does the code perform the task: required algorithm
+  elements present (state, loop, update, output), no hallucinated API
+  names, no generic non-platform fallbacks;
+* **Readability** — comment density, identifier quality, and structural
+  shape relative to the standard code.
+
+All three are pure functions of the generated text — defects introduced
+by the generator are *detected*, never read off its metadata.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass
+
+from repro.usability.apis import ApiSpec
+from repro.usability.reference_code import reference_code
+
+__all__ = ["CodeScores", "CodeEvaluator"]
+
+_IDENTIFIER = re.compile(r"\b[A-Za-z_][A-Za-z_0-9]*\b")
+_GIBBERISH = re.compile(r"^tmp\d+x$|^[a-z]$|^[a-z]{1,2}\d+$")
+
+
+@dataclass(frozen=True)
+class CodeScores:
+    """Per-metric scores on a 0–100 scale."""
+
+    compliance: float
+    correctness: float
+    readability: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric name → score."""
+        return {
+            "compliance": self.compliance,
+            "correctness": self.correctness,
+            "readability": self.readability,
+        }
+
+
+class CodeEvaluator:
+    """Scores generated code for one platform."""
+
+    def __init__(self, spec: ApiSpec) -> None:
+        self.spec = spec
+        self._api_names = spec.function_names()
+
+    def evaluate(self, algorithm: str, code: str) -> CodeScores:
+        """Score one generated sample against the standard code."""
+        standard = reference_code(self.spec, algorithm)
+        return CodeScores(
+            compliance=self._compliance(code, standard),
+            correctness=self._correctness(code),
+            readability=self._readability(code, standard),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _compliance(self, code: str, standard: str) -> float:
+        """Expected-API coverage (60%) + sequence similarity (40%)."""
+        expected = [n for n in self._api_names if n in standard]
+        if expected:
+            coverage = sum(1 for n in expected if n in code) / len(expected)
+        else:
+            coverage = 1.0
+        similarity = difflib.SequenceMatcher(
+            None, standard.split(), code.split()
+        ).ratio()
+        return 100.0 * (0.6 * coverage + 0.4 * similarity)
+
+    def _correctness(self, code: str) -> float:
+        """Required elements present, no hallucinations or fallbacks."""
+        score = 100.0
+        required = ("while", "output")
+        for marker in required:
+            if marker not in code:
+                score -= 20.0
+        # Hallucinated APIs: identifiers that look like platform calls
+        # (followed by "(") but are not in the API list or the common
+        # vocabulary.
+        called = set(re.findall(r"\b([A-Za-z_][A-Za-z_0-9]*)\s*\(", code))
+        vocabulary = set(self._api_names) | {
+            "while", "if", "for", "min", "max", "send", "output",
+            "intersect", "expand", "most_frequent", "size",
+        }
+        hallucinated = {
+            name for name in called
+            if name not in vocabulary and _looks_like_api(name, self._api_names)
+        }
+        score -= 18.0 * len(hallucinated)
+        score -= 15.0 * code.count("generic per-vertex loop")
+        return max(0.0, score)
+
+    def _readability(self, code: str, standard: str) -> float:
+        """Comments, identifier quality, structural shape."""
+        lines = [line for line in code.split("\n") if line.strip()]
+        if not lines:
+            return 0.0
+        std_lines = [line for line in standard.split("\n") if line.strip()]
+        comment_ratio = sum(
+            1 for line in lines if line.strip().startswith("//")
+        ) / len(lines)
+        std_comment_ratio = sum(
+            1 for line in std_lines if line.strip().startswith("//")
+        ) / max(1, len(std_lines))
+        comment_score = min(1.0, comment_ratio / std_comment_ratio) \
+            if std_comment_ratio else 1.0
+
+        identifiers = _IDENTIFIER.findall(code)
+        if identifiers:
+            bad = sum(1 for ident in identifiers if _GIBBERISH.match(ident))
+            ident_score = 1.0 - min(1.0, 3.0 * bad / len(identifiers))
+        else:
+            ident_score = 1.0
+
+        shape_score = 1.0 - min(
+            1.0, abs(len(lines) - len(std_lines)) / max(1, len(std_lines))
+        )
+        return 100.0 * (0.4 * comment_score + 0.35 * ident_score
+                        + 0.25 * shape_score)
+
+
+def _looks_like_api(name: str, api_names: list[str]) -> bool:
+    """Heuristic: a called identifier resembling a platform API name."""
+    lowered = name.lower()
+    for api in api_names:
+        stem = api.lower()[:4]
+        if stem and stem in lowered:
+            return True
+    return bool(re.search(r"(Fn|All|Map)$|^do[A-Z]", name))

@@ -1,0 +1,163 @@
+"""The simulated Code Generator (Section 5.2, steps 1–2).
+
+Stands in for the paper's instruction-tuned GPT-4o (see DESIGN.md's
+substitution table).  :func:`instruction_tune` builds a
+:class:`CodeGenerator` for one platform — the analogue of the tuning
+loop in Fig. 5 — and the generator then produces code for a (task,
+prompt-level) pair with a deterministic, seeded error model:
+
+* the **error rate** interpolates the platform's novice and expert
+  difficulty by the prompt level's knowledge fraction — poorly designed
+  low-level APIs make inexperienced programmers (and LLMs) err more, the
+  exact behaviour the paper's compliance metric was introduced for;
+* errors are concrete code defects: hallucinated API names, generic
+  non-platform fallback code, dropped bookkeeping steps, stripped
+  comments, and gibberish identifiers.
+
+Every defect is observable by the Code Evaluator, so scores emerge from
+evaluating real generated text rather than being copied from the paper.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.usability.apis import ApiSpec, get_api_spec
+from repro.usability.prompts import PromptLevel, build_prompt, knowledge_fraction
+from repro.usability.reference_code import reference_code
+
+__all__ = ["GeneratedCode", "CodeGenerator", "instruction_tune",
+           "TASK_DIFFICULTY"]
+
+#: Relative expression difficulty per task: the advanced algorithms
+#: (BC's two phases, CD's cross-superstep state, KC's candidate-set
+#: plumbing) trip programmers — and LLMs — more often than PR's
+#: textbook loop.  Mean ≈ 1.0 so platform-level calibration (which
+#: averages over tasks) is unaffected.
+TASK_DIFFICULTY: dict[str, float] = {
+    "pr": 0.85,
+    "lpa": 0.90,
+    "sssp": 0.90,
+    "wcc": 0.85,
+    "bc": 1.15,
+    "cd": 1.10,
+    "tc": 1.05,
+    "kc": 1.20,
+}
+
+
+@dataclass(frozen=True)
+class GeneratedCode:
+    """One code sample produced by the simulated LLM."""
+
+    platform: str
+    algorithm: str
+    level: PromptLevel
+    prompt: str
+    code: str
+    defects: dict[str, int]
+
+
+class CodeGenerator:
+    """Instruction-tuned simulated LLM for one platform."""
+
+    def __init__(self, spec: ApiSpec, *, tuning_rounds: int = 3) -> None:
+        self.spec = spec
+        # Instruction tuning narrows the error model: each review round
+        # with human feedback (Fig. 5) trims residual error.
+        self._tuning_discount = 0.9 ** max(0, tuning_rounds - 1)
+
+    # ------------------------------------------------------------------
+
+    def error_rate(self, level: PromptLevel) -> float:
+        """Per-opportunity defect probability for one prompt level."""
+        k = knowledge_fraction(level)
+        spec = self.spec
+        base = spec.novice_difficulty * (1.0 - k) + spec.expert_difficulty * k
+        return base * self._tuning_discount
+
+    def generate(
+        self,
+        algorithm: str,
+        level: PromptLevel,
+        *,
+        seed: int = 0,
+    ) -> GeneratedCode:
+        """Produce one code sample for a task at a prompt level."""
+        # Stable cross-process seeding (built-in hash() is salted).
+        key = f"{self.spec.platform}|{algorithm}|{int(level)}|{seed}"
+        rng = np.random.default_rng(zlib.crc32(key.encode()))
+        prompt = build_prompt(self.spec, algorithm, level)
+        code = reference_code(self.spec, algorithm)
+        rate = min(0.95, self.error_rate(level)
+                   * TASK_DIFFICULTY.get(algorithm, 1.0))
+        defects = {"hallucinated_api": 0, "generic_fallback": 0,
+                   "dropped_step": 0, "stripped_comment": 0,
+                   "bad_identifier": 0}
+
+        lines = code.split("\n")
+        api_names = self.spec.function_names()
+
+        out_lines: list[str] = []
+        for line in lines:
+            used = [name for name in api_names if name in line]
+            if used and rng.random() < rate:
+                # Either hallucinate the API name or fall back to a
+                # generic loop that ignores the platform (Fig. 5's
+                # "general C++" failure mode).
+                if rng.random() < 0.55:
+                    wrong = _hallucinate(used[0], rng)
+                    line = line.replace(used[0], wrong)
+                    defects["hallucinated_api"] += 1
+                else:
+                    line = ("for (int v = 0; v < n; ++v) { "
+                            "/* generic per-vertex loop */ }")
+                    defects["generic_fallback"] += 1
+            elif line.strip().startswith("//") and rng.random() < rate:
+                defects["stripped_comment"] += 1
+                continue
+            elif "bookkeeping" in line and rng.random() < 1.5 * rate:
+                defects["dropped_step"] += 1
+                continue
+            out_lines.append(line)
+
+        code_text = "\n".join(out_lines)
+        # Identifier quality degrades with inexperience.
+        n_renames = int(rng.binomial(4, min(1.0, 1.5 * rate)))
+        for i in range(n_renames):
+            target = ["frontier", "updated_vertices", "result",
+                      "num_vertices"][i % 4]
+            if re.search(rf"\b{target}\b", code_text):
+                code_text = re.sub(
+                    rf"\b{target}\b", f"tmp{i}x", code_text
+                )
+                defects["bad_identifier"] += 1
+
+        return GeneratedCode(
+            platform=self.spec.platform,
+            algorithm=algorithm,
+            level=level,
+            prompt=prompt,
+            code=code_text,
+            defects=defects,
+        )
+
+
+def instruction_tune(platform: str, *, tuning_rounds: int = 3) -> CodeGenerator:
+    """Step 1 of the framework: build a platform-tuned Code Generator."""
+    return CodeGenerator(get_api_spec(platform), tuning_rounds=tuning_rounds)
+
+
+def _hallucinate(name: str, rng: np.random.Generator) -> str:
+    """A plausible-but-wrong variant of an API name."""
+    transforms = (
+        lambda s: s[0].upper() + s[1:] + "Fn",
+        lambda s: "do" + s[0].upper() + s[1:],
+        lambda s: s + "All",
+        lambda s: s[::-1][: max(3, len(s) // 2)] + "Map",
+    )
+    return transforms[int(rng.integers(0, len(transforms)))](name)

@@ -1,0 +1,109 @@
+"""Multi-level prompts (Section 5.2, step 2).
+
+Four levels simulate programmers of increasing expertise:
+
+* **Junior** — task description only;
+* **Intermediate** — plus core API names and parameters;
+* **Senior** — plus full API documentation and example code;
+* **Expert** — plus the algorithm's pseudo-code.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.errors import UsabilityError
+from repro.usability.apis import ApiSpec
+
+__all__ = ["PromptLevel", "TASK_DESCRIPTIONS", "build_prompt", "knowledge_fraction"]
+
+
+class PromptLevel(IntEnum):
+    """Expertise level simulated by the prompt."""
+
+    JUNIOR = 1
+    INTERMEDIATE = 2
+    SENIOR = 3
+    EXPERT = 4
+
+
+TASK_DESCRIPTIONS: dict[str, str] = {
+    "pr": "Implement the PageRank algorithm on this platform "
+          "(damping 0.85, 10 iterations).",
+    "lpa": "Implement the Label Propagation community-detection "
+           "algorithm on this platform (10 iterations, min-label ties).",
+    "sssp": "Implement single-source shortest paths from vertex 0 "
+            "on this platform.",
+    "wcc": "Compute the weakly connected components of the graph "
+           "on this platform.",
+    "bc": "Compute betweenness-centrality dependency scores from "
+          "source vertex 0 on this platform.",
+    "cd": "Compute the coreness value of every vertex (core "
+          "decomposition) on this platform.",
+    "tc": "Count the number of triangles in the graph on this platform.",
+    "kc": "Count all k-cliques (k = 4) in the graph on this platform.",
+}
+
+_PSEUDO_CODE: dict[str, str] = {
+    "pr": ("rank[v] = 1/N\n"
+           "repeat 10 times:\n"
+           "    rank'[v] = (1-d)/N + d * sum(rank[u]/deg(u) for u in in(v))"),
+    "lpa": ("label[v] = v\n"
+            "repeat 10 times:\n"
+            "    label'[v] = argmax count of label[u] for u in N(v), min ties"),
+    "sssp": ("dist[source] = 0, else inf\n"
+             "until fixpoint: dist[v] = min(dist[v], dist[u] + w(u,v))"),
+    "wcc": ("comp[v] = v\n"
+            "until fixpoint: comp[v] = min(comp[v], comp[u] for u in N(v))"),
+    "bc": ("forward BFS from s computing sigma (shortest-path counts)\n"
+           "backward pass: delta[v] += sigma[v]/sigma[w] * (1 + delta[w])"),
+    "cd": ("k = 1\n"
+           "while vertices remain: remove all v with degree < k, "
+           "coreness[v] = k-1; when stable, k += 1"),
+    "tc": ("orient edges low->high degree\n"
+           "for each edge (u,v): count |N+(u) intersect N+(v)|"),
+    "kc": ("expand cliques along the degeneracy order,\n"
+           "intersecting candidate sets with forward adjacency"),
+}
+
+
+def knowledge_fraction(level: PromptLevel) -> float:
+    """How much platform knowledge the prompt supplies, in [0, 1]."""
+    return (int(level) - 1) / (len(PromptLevel) - 1)
+
+
+def build_prompt(
+    spec: ApiSpec,
+    algorithm: str,
+    level: PromptLevel,
+    *,
+    anonymize: bool = True,
+) -> str:
+    """Assemble the text prompt for one (platform, algorithm, level)."""
+    if algorithm not in TASK_DESCRIPTIONS:
+        raise UsabilityError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {list(TASK_DESCRIPTIONS)}"
+        )
+    if anonymize:
+        spec = spec.anonymized()
+    parts = [
+        "You are an advanced code generation assistant.",
+        f"Target language: {spec.language}.",
+        TASK_DESCRIPTIONS[algorithm],
+    ]
+    if level >= PromptLevel.INTERMEDIATE:
+        names = ", ".join(spec.function_names())
+        parts.append(f"The platform provides these core APIs: {names}.")
+    if level >= PromptLevel.SENIOR:
+        docs = "\n".join(
+            f"  {f.signature}\n    {f.doc}" for f in spec.functions
+        )
+        parts.append("API reference:\n" + docs)
+        parts.append(
+            "Example usage: compose the traversal APIs inside the "
+            "iteration loop, updating per-vertex state each round."
+        )
+    if level >= PromptLevel.EXPERT:
+        parts.append("Algorithm pseudo-code:\n" + _PSEUDO_CODE[algorithm])
+    return "\n\n".join(parts)

@@ -1,0 +1,157 @@
+"""Usability scoring: weighted aggregation and the evaluation loop.
+
+Weights follow Section 5.2: compliance 35%, correctness 35%,
+readability 30% (customizable).  ``evaluate_usability`` runs the full
+generate→evaluate loop with repetitions and averaging, producing the
+Fig. 13 per-platform, per-level scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import UsabilityError
+from repro.usability.apis import get_api_spec
+from repro.usability.evaluator import CodeEvaluator, CodeScores
+from repro.usability.generator import instruction_tune
+from repro.usability.prompts import TASK_DESCRIPTIONS, PromptLevel
+
+__all__ = ["ScoreWeights", "UsabilityScore", "evaluate_usability", "usability_table"]
+
+DEFAULT_ALGORITHMS = tuple(TASK_DESCRIPTIONS)
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Metric weights; must sum to 1."""
+
+    compliance: float = 0.35
+    correctness: float = 0.35
+    readability: float = 0.30
+
+    def __post_init__(self) -> None:
+        total = self.compliance + self.correctness + self.readability
+        if abs(total - 1.0) > 1e-9:
+            raise UsabilityError(f"weights must sum to 1, got {total}")
+
+    def combine(self, scores: CodeScores) -> float:
+        """Weighted overall score."""
+        return (
+            self.compliance * scores.compliance
+            + self.correctness * scores.correctness
+            + self.readability * scores.readability
+        )
+
+
+@dataclass(frozen=True)
+class UsabilityScore:
+    """Averaged scores for one (platform, level)."""
+
+    platform: str
+    level: PromptLevel
+    compliance: float
+    correctness: float
+    readability: float
+    overall: float
+    samples: int
+
+    def as_row(self) -> dict[str, float]:
+        """Flat dictionary for reporting."""
+        return {
+            "compliance": self.compliance,
+            "correctness": self.correctness,
+            "readability": self.readability,
+            "overall": self.overall,
+        }
+
+
+def evaluate_usability(
+    platform: str,
+    level: PromptLevel,
+    *,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    repetitions: int = 5,
+    weights: ScoreWeights | None = None,
+    seed: int = 0,
+) -> UsabilityScore:
+    """Run the generate→evaluate loop for one platform and level.
+
+    The paper repeats generation and averages to reduce variance
+    (Section 6); ``repetitions`` controls that loop.
+    """
+    if repetitions < 1:
+        raise UsabilityError(f"repetitions must be >= 1, got {repetitions}")
+    weights = weights or ScoreWeights()
+    spec = get_api_spec(platform)
+    generator = instruction_tune(platform)
+    evaluator = CodeEvaluator(spec)
+
+    compliance, correctness, readability, overall = [], [], [], []
+    for algorithm in algorithms:
+        for rep in range(repetitions):
+            sample = generator.generate(
+                algorithm, level, seed=seed * 1000 + rep
+            )
+            scores = evaluator.evaluate(algorithm, sample.code)
+            compliance.append(scores.compliance)
+            correctness.append(scores.correctness)
+            readability.append(scores.readability)
+            overall.append(weights.combine(scores))
+
+    return UsabilityScore(
+        platform=platform,
+        level=level,
+        compliance=float(np.mean(compliance)),
+        correctness=float(np.mean(correctness)),
+        readability=float(np.mean(readability)),
+        overall=float(np.mean(overall)),
+        samples=len(overall),
+    )
+
+
+def usability_by_algorithm(
+    platform: str,
+    level: PromptLevel,
+    *,
+    repetitions: int = 8,
+    weights: ScoreWeights | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Per-task overall scores: which algorithms are hardest to express.
+
+    The advanced algorithms (BC, CD, KC) carry higher expression
+    difficulty, so their generated code scores lower — per platform this
+    surfaces which parts of an API are the rough edges.
+    """
+    results = {}
+    for algorithm in DEFAULT_ALGORITHMS:
+        score = evaluate_usability(
+            platform, level, algorithms=(algorithm,),
+            repetitions=repetitions, weights=weights, seed=seed,
+        )
+        results[algorithm] = score.overall
+    return results
+
+
+def usability_table(
+    *,
+    platforms: tuple[str, ...] | None = None,
+    levels: tuple[PromptLevel, ...] = tuple(PromptLevel),
+    repetitions: int = 5,
+    seed: int = 0,
+) -> dict[PromptLevel, dict[str, UsabilityScore]]:
+    """Full Fig. 13 grid: ``{level: {platform: score}}``."""
+    from repro.usability.apis import API_SPECS
+
+    names = platforms if platforms is not None else tuple(API_SPECS)
+    return {
+        level: {
+            name: evaluate_usability(
+                name, level, repetitions=repetitions, seed=seed
+            )
+            for name in names
+        }
+        for level in levels
+    }

@@ -1,0 +1,109 @@
+"""Tests for dynamic graph streams and incremental algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.incremental import (
+    IncrementalPageRank,
+    IncrementalWCC,
+    replay_stream_wcc,
+)
+from repro.algorithms.reference import pagerank, wcc
+from repro.datagen.dynamic import EdgeBatch, generate_stream
+from repro.errors import GeneratorParameterError
+
+
+class TestStream:
+    def test_batches_cover_final_graph(self):
+        stream = generate_stream(400, num_batches=5, seed=3)
+        assert len(stream) == 5
+        final = stream.final_graph()
+        assert final.num_edges == stream.total_edges  # dedup-free split
+
+    def test_snapshots_grow(self):
+        stream = generate_stream(300, num_batches=4, seed=1)
+        sizes = [stream.snapshot(t).num_edges for t in range(4)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] > 0
+
+    def test_snapshot_bounds_checked(self):
+        stream = generate_stream(100, num_batches=3, seed=0)
+        with pytest.raises(GeneratorParameterError):
+            stream.snapshot(3)
+
+    def test_deterministic(self):
+        a = generate_stream(200, num_batches=4, seed=9)
+        b = generate_stream(200, num_batches=4, seed=9)
+        assert a.final_graph() == b.final_graph()
+        assert np.array_equal(a.batches[0].src, b.batches[0].src)
+
+    def test_rejects_bad_batches(self):
+        with pytest.raises(GeneratorParameterError):
+            generate_stream(100, num_batches=0)
+
+
+class TestIncrementalWCC:
+    def test_matches_recompute_at_every_snapshot(self):
+        stream = generate_stream(300, num_batches=5, seed=2)
+        tracker = IncrementalWCC(stream.num_vertices)
+        for t, batch in enumerate(stream):
+            tracker.apply_batch(batch)
+            assert np.array_equal(
+                tracker.labels(), wcc(stream.snapshot(t))
+            ), f"batch {t}"
+
+    def test_component_count_tracked(self):
+        tracker = IncrementalWCC(4)
+        assert tracker.num_components == 4
+        batch = EdgeBatch(time=0, src=np.array([0, 2]), dst=np.array([1, 3]))
+        merges = tracker.apply_batch(batch)
+        assert merges == 2
+        assert tracker.num_components == 2
+
+    def test_duplicate_edges_cause_no_merge(self):
+        tracker = IncrementalWCC(3)
+        batch = EdgeBatch(time=0, src=np.array([0, 0]), dst=np.array([1, 1]))
+        assert tracker.apply_batch(batch) == 1
+
+    def test_replay_reports_savings(self):
+        stream = generate_stream(500, num_batches=8, seed=4)
+        report = replay_stream_wcc(stream)
+        # maintaining union-find beats recomputing per batch
+        assert report["incremental_ops"] < report["recompute_ops"]
+        assert report["final_components"] >= 1
+
+
+class TestIncrementalPageRank:
+    def test_matches_reference_fixpoint(self):
+        stream = generate_stream(250, num_batches=3, seed=5)
+        final = stream.final_graph()
+        tracker = IncrementalPageRank(250, tolerance=1e-12)
+        for t in range(len(stream)):
+            tracker.update(stream.snapshot(t))
+        reference = pagerank(final, max_iterations=500, tolerance=1e-12)
+        assert np.allclose(tracker.ranks, reference, atol=1e-8)
+
+    def test_warm_start_converges_faster(self):
+        stream = generate_stream(400, num_batches=6, seed=6)
+        warm = IncrementalPageRank(400, tolerance=1e-10)
+        cold_iterations = []
+        warm_iterations = []
+        for t in range(len(stream)):
+            snapshot = stream.snapshot(t)
+            warm.update(snapshot)
+            warm_iterations.append(warm.last_iterations)
+            cold = IncrementalPageRank(400, tolerance=1e-10)
+            cold.update(snapshot, cold_start=True)
+            cold_iterations.append(cold.last_iterations)
+        # after the first batch, warm restarts need fewer iterations
+        assert sum(warm_iterations[1:]) < sum(cold_iterations[1:])
+
+    def test_rejects_size_mismatch(self):
+        from repro.core import path_graph
+        tracker = IncrementalPageRank(10)
+        with pytest.raises(GeneratorParameterError):
+            tracker.update(path_graph(5))
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(GeneratorParameterError):
+            IncrementalPageRank(10, damping=2.0)

@@ -1,0 +1,47 @@
+"""Tests for the K-Hop kernel (WGB's workload)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import bfs, k_hop
+from repro.core import Graph, complete_graph, path_graph, random_graph
+from repro.errors import GeneratorParameterError
+
+
+def test_k0_is_just_source():
+    assert np.array_equal(k_hop(path_graph(5), 2, 0), [2])
+
+
+def test_path_graph_hops():
+    g = path_graph(7)
+    assert np.array_equal(k_hop(g, 3, 1), [2, 3, 4])
+    assert np.array_equal(k_hop(g, 3, 2), [1, 2, 3, 4, 5])
+
+
+def test_complete_graph_one_hop_is_everything():
+    g = complete_graph(6)
+    assert k_hop(g, 0, 1).size == 6
+
+
+def test_large_k_reaches_component_only():
+    g = Graph.from_edges([0, 2], [1, 3], num_vertices=5)
+    assert np.array_equal(k_hop(g, 0, 100), [0, 1])
+
+
+def test_monotone_in_k():
+    g = random_graph(120, 400, seed=3)
+    sizes = [k_hop(g, 0, k).size for k in range(5)]
+    assert sizes == sorted(sizes)
+
+
+def test_consistent_with_bfs_levels():
+    g = random_graph(100, 300, seed=4)
+    levels = bfs(g, 0)
+    for k in (1, 2, 3):
+        expected = np.nonzero((levels >= 0) & (levels <= k))[0]
+        assert np.array_equal(k_hop(g, 0, k), expected)
+
+
+def test_rejects_negative_k():
+    with pytest.raises(GeneratorParameterError):
+        k_hop(path_graph(3), 0, -1)

@@ -1,0 +1,294 @@
+"""Tests for the sequential reference kernels against known answers and
+cross-validating oracles."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.reference import (
+    bellman_ford,
+    betweenness_centrality,
+    betweenness_from_source,
+    bfs,
+    component_sizes,
+    core_decomposition,
+    degeneracy_order,
+    dijkstra,
+    enumerate_k_cliques,
+    k_clique_count,
+    k_core,
+    label_propagation,
+    local_clustering_coefficient,
+    pagerank,
+    per_vertex_triangles,
+    triangle_count,
+    wcc,
+    wcc_union_find,
+)
+from repro.core import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.errors import GeneratorParameterError, GraphStructureError
+
+
+class TestPageRank:
+    def test_sums_to_one(self, medium_graph):
+        assert pagerank(medium_graph).sum() == pytest.approx(1.0)
+
+    def test_uniform_on_symmetric_graph(self):
+        ranks = pagerank(cycle_graph(6), max_iterations=50)
+        assert np.allclose(ranks, 1.0 / 6.0)
+
+    def test_hub_ranks_highest(self):
+        ranks = pagerank(star_graph(10), max_iterations=50)
+        assert ranks[0] == ranks.max()
+
+    def test_dangling_mass_redistributed(self):
+        g = Graph.from_edges([0], [1], directed=True, num_vertices=3)
+        ranks = pagerank(g, max_iterations=100, tolerance=1e-12)
+        assert ranks.sum() == pytest.approx(1.0)
+        assert ranks[1] > ranks[0]
+
+    def test_convergence_early_stop(self, medium_graph):
+        a = pagerank(medium_graph, max_iterations=500, tolerance=1e-12)
+        b = pagerank(medium_graph, max_iterations=1000, tolerance=1e-12)
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_rejects_bad_damping(self, path5):
+        with pytest.raises(GeneratorParameterError):
+            pagerank(path5, damping=1.5)
+
+    def test_empty_graph(self):
+        assert pagerank(Graph.from_edges([], [], num_vertices=0)).size == 0
+
+
+class TestSSSP:
+    def test_dijkstra_path_graph(self):
+        d = dijkstra(path_graph(5, weighted=True), 0)
+        assert np.array_equal(d, [0, 1, 2, 3, 4])
+
+    def test_unweighted_is_hop_distance(self, medium_graph):
+        d = dijkstra(medium_graph, 0)
+        levels = bfs(medium_graph, 0).astype(float)
+        levels[levels < 0] = np.inf
+        assert np.array_equal(d, levels)
+
+    def test_dijkstra_vs_bellman_ford(self, weighted_graph):
+        a = dijkstra(weighted_graph, 0)
+        b = bellman_ford(weighted_graph, 0)
+        assert np.allclose(a, b, equal_nan=True)
+
+    def test_unreachable_infinite(self):
+        g = Graph.from_edges([0], [1], num_vertices=3)
+        assert dijkstra(g, 0)[2] == np.inf
+
+    def test_rejects_negative_weights(self):
+        g = Graph.from_edges([0], [1], weights=[-1.0])
+        with pytest.raises(GraphStructureError):
+            dijkstra(g, 0)
+
+    def test_rejects_bad_source(self, path5):
+        with pytest.raises(GraphStructureError):
+            dijkstra(path5, 99)
+
+    def test_triangle_inequality(self, weighted_graph):
+        d = dijkstra(weighted_graph, 0)
+        src, dst, w = weighted_graph.edge_arrays()
+        for a, b, weight in zip(src.tolist(), dst.tolist(), w.tolist()):
+            if np.isfinite(d[a]):
+                assert d[b] <= d[a] + weight + 1e-9
+
+
+class TestWCC:
+    def test_matches_union_find(self, medium_graph):
+        assert np.array_equal(wcc(medium_graph), wcc_union_find(medium_graph))
+
+    def test_component_sizes(self, two_components):
+        sizes = component_sizes(wcc(two_components))
+        assert sizes == {0: 3, 3: 2, 5: 1}
+
+    def test_directed_weak_connectivity(self):
+        g = Graph.from_edges([0, 2], [1, 1], directed=True)
+        labels = wcc(g)
+        assert np.unique(labels).size == 1
+
+
+class TestLPA:
+    def test_two_cliques_get_two_labels(self):
+        src = [0, 0, 1, 3, 3, 4, 2]
+        dst = [1, 2, 2, 4, 5, 5, 3]
+        g = Graph.from_edges(src, dst)
+        labels = label_propagation(g, max_iterations=20)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+
+    def test_isolated_keeps_own_label(self):
+        g = Graph.from_edges([0], [1], num_vertices=3)
+        labels = label_propagation(g)
+        assert labels[2] == 2
+
+    def test_deterministic(self, medium_graph):
+        a = label_propagation(medium_graph)
+        b = label_propagation(medium_graph)
+        assert np.array_equal(a, b)
+
+    def test_custom_seed_labels(self):
+        g = path_graph(4)
+        labels = label_propagation(
+            g, labels=np.array([7, 7, 9, 9]), max_iterations=1
+        )
+        assert labels[1] == 7
+
+    def test_rejects_bad_label_length(self, path5):
+        with pytest.raises(GeneratorParameterError):
+            label_propagation(path5, labels=np.array([1, 2]))
+
+
+class TestBC:
+    def test_path_graph_known(self):
+        bc = betweenness_centrality(path_graph(5))
+        assert np.allclose(bc, [0, 3, 4, 3, 0])
+
+    def test_star_center(self):
+        bc = betweenness_centrality(star_graph(6))
+        # center lies on all C(5,2) = 10 pairs
+        assert bc[0] == pytest.approx(10.0)
+        assert np.allclose(bc[1:], 0.0)
+
+    def test_single_source_sums(self, medium_graph):
+        """Sum of single-source deltas over all sources = 2x undirected BC."""
+        total = sum(
+            betweenness_from_source(medium_graph, s)
+            for s in range(medium_graph.num_vertices)
+        )
+        full = betweenness_centrality(medium_graph)
+        assert np.allclose(total / 2.0, full)
+
+    def test_normalized_bounds(self):
+        bc = betweenness_centrality(random_graph(40, 150, seed=1),
+                                    normalized=True)
+        assert np.all(bc >= 0)
+        assert np.all(bc <= 1.0 + 1e-9)
+
+    def test_weighted_brandes_path(self):
+        g = path_graph(4, weighted=True)
+        bc = betweenness_from_source(g, 0)
+        assert np.allclose(bc, [0, 2, 1, 0])
+
+    def test_rejects_bad_source(self, path5):
+        with pytest.raises(GraphStructureError):
+            betweenness_from_source(path5, -1)
+
+
+class TestCoreDecomposition:
+    def test_complete_graph(self, k5):
+        assert np.array_equal(core_decomposition(k5), [4] * 5)
+
+    def test_path_graph(self):
+        assert np.array_equal(core_decomposition(path_graph(5)), [1] * 5)
+
+    def test_clique_with_tail(self):
+        # K4 {0..3} with tail 3-4-5
+        g = Graph.from_edges([0, 0, 0, 1, 1, 2, 3, 4],
+                             [1, 2, 3, 2, 3, 3, 4, 5])
+        coreness = core_decomposition(g)
+        assert np.array_equal(coreness, [3, 3, 3, 3, 1, 1])
+
+    def test_invariant_k_core_degrees(self, medium_graph):
+        """Every vertex of the k-core has >= k neighbours inside it."""
+        coreness = core_decomposition(medium_graph)
+        k = int(coreness.max())
+        members = k_core(medium_graph, k)
+        member_set = set(members.tolist())
+        for v in members:
+            inside = sum(
+                1 for u in medium_graph.neighbors(int(v)).tolist()
+                if u in member_set
+            )
+            assert inside >= k
+
+    def test_degeneracy_order_is_permutation(self, medium_graph):
+        order = degeneracy_order(medium_graph)
+        assert np.array_equal(np.sort(order),
+                              np.arange(medium_graph.num_vertices))
+
+
+class TestTriangles:
+    def test_known_counts(self, k5):
+        assert triangle_count(k5) == 10
+        assert triangle_count(cycle_graph(4)) == 0
+        assert triangle_count(grid_graph(3, 3)) == 0
+
+    def test_per_vertex_sum(self, medium_graph):
+        per_vertex = per_vertex_triangles(medium_graph)
+        assert per_vertex.sum() == 3 * triangle_count(medium_graph)
+
+    def test_per_vertex_k4(self):
+        g = complete_graph(4)
+        assert np.array_equal(per_vertex_triangles(g), [3, 3, 3, 3])
+
+
+class TestKClique:
+    def _brute(self, g, k):
+        adj = [set(g.neighbors(v).tolist()) for v in range(g.num_vertices)]
+        count = 0
+        for combo in itertools.combinations(range(g.num_vertices), k):
+            if all(b in adj[a] for a, b in itertools.combinations(combo, 2)):
+                count += 1
+        return count
+
+    def test_matches_triangles(self, medium_graph):
+        assert k_clique_count(medium_graph, 3) == triangle_count(medium_graph)
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_brute_force(self, k):
+        g = random_graph(22, 80, seed=13)
+        assert k_clique_count(g, k) == self._brute(g, k)
+
+    def test_complete_graph_binomial(self):
+        from math import comb
+        g = complete_graph(7)
+        for k in (3, 4, 5, 6, 7):
+            assert k_clique_count(g, k) == comb(7, k)
+
+    def test_k1_k2(self, k5):
+        assert k_clique_count(k5, 1) == 5
+        assert k_clique_count(k5, 2) == 10
+
+    def test_enumeration_unique_and_valid(self):
+        g = random_graph(20, 70, seed=4)
+        cliques = enumerate_k_cliques(g, 4)
+        assert len(cliques) == len(set(cliques))
+        for clique in cliques:
+            for a, b in itertools.combinations(clique, 2):
+                assert g.has_edge(a, b)
+
+    def test_rejects_bad_k(self, k5):
+        with pytest.raises(GeneratorParameterError):
+            k_clique_count(k5, 0)
+
+
+class TestExtras:
+    def test_bfs_path(self):
+        assert np.array_equal(bfs(path_graph(4), 0), [0, 1, 2, 3])
+
+    def test_lcc_complete(self):
+        assert np.allclose(local_clustering_coefficient(complete_graph(5)),
+                           1.0)
+
+    def test_lcc_star_zero(self):
+        assert np.allclose(local_clustering_coefficient(star_graph(5)), 0.0)
+
+    def test_lcc_matches_stats_module(self, medium_graph):
+        from repro.core import local_clustering
+        assert np.allclose(
+            local_clustering_coefficient(medium_graph),
+            local_clustering(medium_graph),
+        )

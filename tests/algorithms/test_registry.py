@@ -1,0 +1,69 @@
+"""Tests for the algorithm metadata registry (Tables 2 and 3)."""
+
+import pytest
+
+from repro.algorithms import (
+    ALGORITHMS,
+    ITERATIVE,
+    SEQUENTIAL,
+    SUBGRAPH,
+    core_algorithms,
+    get_algorithm,
+    ldbc_algorithms,
+)
+from repro.errors import BenchmarkError
+
+
+def test_eight_core_algorithms():
+    assert len(core_algorithms()) == 8
+    assert {a.key for a in core_algorithms()} == {
+        "pr", "lpa", "sssp", "wcc", "bc", "cd", "tc", "kc"
+    }
+
+
+def test_six_ldbc_algorithms():
+    assert {a.key for a in ldbc_algorithms()} == {
+        "pr", "lpa", "sssp", "wcc", "bfs", "lcc"
+    }
+
+
+def test_classes_match_section_3_3():
+    assert get_algorithm("pr").algorithm_class == ITERATIVE
+    assert get_algorithm("lpa").algorithm_class == ITERATIVE
+    assert get_algorithm("sssp").algorithm_class == SEQUENTIAL
+    assert get_algorithm("wcc").algorithm_class == SEQUENTIAL
+    assert get_algorithm("bc").algorithm_class == SEQUENTIAL
+    assert get_algorithm("cd").algorithm_class == SEQUENTIAL
+    assert get_algorithm("tc").algorithm_class == SUBGRAPH
+    assert get_algorithm("kc").algorithm_class == SUBGRAPH
+
+
+def test_popularity_data_present_for_core():
+    for a in core_algorithms():
+        assert a.papers is not None
+        assert a.dblp_hits is not None
+
+
+def test_table2_spot_values():
+    assert get_algorithm("pr").dblp_hits == 1012
+    assert get_algorithm("lpa").papers == 39
+    assert get_algorithm("kc").wos_hits == 395
+
+
+def test_topics_cover_five_areas():
+    topics = {a.topic for a in core_algorithms()}
+    assert topics == {
+        "Centrality", "Community Detection", "Traversal",
+        "Cohesive Subgraph", "Pattern Matching",
+    }
+
+
+def test_ldbc_lacks_diversity():
+    """The paper's critique: LDBC covers only three topics."""
+    topics = {a.topic for a in ldbc_algorithms()}
+    assert len(topics) == 3
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(BenchmarkError):
+        get_algorithm("nope")

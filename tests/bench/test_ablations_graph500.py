@@ -1,0 +1,88 @@
+"""Tests for the ablation experiments and the mini-Graph500 harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ablations import (
+    density_factor_curve,
+    diameter_control_curve,
+    partition_ablation,
+    vertex_subset_ablation,
+)
+from repro.bench.graph500 import (
+    Graph500Run,
+    run_graph500,
+    validate_bfs_levels,
+)
+from repro.core import Graph, path_graph
+from repro.errors import BenchmarkError
+
+
+class TestAblations:
+    def test_density_curve_monotone(self):
+        rows = density_factor_curve(num_vertices=800,
+                                    alphas=(1.0, 10.0, 100.0))
+        edges = [r["edges"] for r in rows]
+        assert edges == sorted(edges)
+        assert edges[-1] > 5 * edges[0]
+
+    def test_diameter_curve_monotone(self):
+        rows = diameter_control_curve(num_vertices=800,
+                                      group_counts=(1, 8, 16))
+        diameters = [r["diameter"] for r in rows]
+        assert diameters == sorted(diameters)
+
+    def test_partition_ablation_locality(self):
+        cuts = partition_ablation(dataset="S8-Std")
+        assert cuts["range_cut_fraction"] < cuts["hash_cut_fraction"]
+        assert 0 < cuts["range_cut_fraction"] < 1
+
+    def test_vertex_subset_saves_work(self):
+        results = vertex_subset_ablation()
+        assert results["with_subset"]["compute_ops"] < \
+            results["without_subset"]["compute_ops"]
+        # same answer either way: supersteps identical
+        assert results["with_subset"]["supersteps"] == \
+            results["without_subset"]["supersteps"]
+
+
+class TestGraph500:
+    def test_validation_accepts_correct_levels(self):
+        g = path_graph(6)
+        levels = np.array([0, 1, 2, 3, 4, 5])
+        validate_bfs_levels(g, levels, 0)
+
+    def test_validation_rejects_wrong_root(self):
+        g = path_graph(4)
+        with pytest.raises(BenchmarkError):
+            validate_bfs_levels(g, np.array([1, 2, 3, 4]), 0)
+
+    def test_validation_rejects_level_jump(self):
+        g = path_graph(4)
+        with pytest.raises(BenchmarkError):
+            validate_bfs_levels(g, np.array([0, 2, 3, 4]), 0)
+
+    def test_validation_rejects_reachability_mismatch(self):
+        g = Graph.from_edges([0, 2], [1, 3], num_vertices=4)
+        # claims vertex 2 reached even though it is another component
+        with pytest.raises(BenchmarkError):
+            validate_bfs_levels(g, np.array([0, 1, 1, 2]), 0)
+
+    def test_run_returns_scores(self):
+        runs = run_graph500(scale=8, num_roots=3,
+                            platforms=("Ligra", "Grape"))
+        assert len(runs) == 2
+        for run in runs:
+            assert isinstance(run, Graph500Run)
+            assert run.num_roots == 3
+            assert run.harmonic_mean_teps > 0
+            assert run.harmonic_mean_teps <= run.mean_teps + 1e-9
+
+    def test_skips_platforms_without_bfs(self):
+        runs = run_graph500(scale=7, num_roots=2,
+                            platforms=("G-thinker", "Ligra"))
+        assert [r.platform for r in runs] == ["Ligra"]
+
+    def test_rejects_bad_roots(self):
+        with pytest.raises(BenchmarkError):
+            run_graph500(num_roots=0)

@@ -1,0 +1,197 @@
+"""Tests for the benchmark harness: runner, reporting, experiments."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    RED_BAR_CASES,
+    clear_case_cache,
+    render_series,
+    render_table,
+    run_case,
+)
+from repro.bench.genquality import (
+    build_similarity_graphs,
+    efficiency_sweep,
+    similarity_table,
+)
+from repro.bench.performance import (
+    SCALE_UP_EXCLUSIONS,
+    scale_up_curves,
+    speedup_table,
+    stress_test,
+)
+from repro.bench.statics import (
+    dataset_rows,
+    platform_rows,
+    popularity_rows,
+    workload_rows,
+)
+from repro.cluster import single_machine
+
+
+class TestRunner:
+    def test_ok_case(self):
+        outcome = run_case("Ligra", "pr", "S8-Std")
+        assert outcome.status == "ok"
+        assert outcome.seconds > 0
+
+    def test_unsupported_case(self):
+        outcome = run_case("G-thinker", "pr", "S8-Std")
+        assert outcome.status == "unsupported"
+        assert outcome.seconds is None
+
+    def test_red_bar_promotes_to_16_machines(self):
+        outcome = run_case("GraphX", "kc", "S8-Std")
+        assert outcome.red_bar
+        assert outcome.result.cluster.machines == 16
+
+    def test_red_bar_cases_match_paper(self):
+        assert ("GraphX", "lpa") in RED_BAR_CASES
+        assert ("GraphX", "cd") in RED_BAR_CASES
+        assert ("GraphX", "kc") in RED_BAR_CASES
+        assert ("Pregel+", "tc") in RED_BAR_CASES
+        assert ("Pregel+", "kc") in RED_BAR_CASES
+        assert len(RED_BAR_CASES) == 5
+
+    def test_caching(self):
+        a = run_case("Ligra", "pr", "S8-Std")
+        b = run_case("Ligra", "pr", "S8-Std")
+        assert a is b
+
+    def test_cache_clear(self):
+        a = run_case("Ligra", "pr", "S8-Std")
+        clear_case_cache()
+        b = run_case("Ligra", "pr", "S8-Std")
+        assert a is not b
+
+    def test_custom_cluster(self):
+        outcome = run_case("Grape", "pr", "S8-Std",
+                           cluster=single_machine(8))
+        assert outcome.result.cluster.threads_per_machine == 8
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], [30, 0.001]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_render_series(self):
+        text = render_series("S", "x", [1, 2], {"y": [10.0, 20.0]})
+        assert "x" in text
+        assert "10" in text
+
+    def test_emit_writes_file(self, tmp_path, capsys):
+        from repro.bench.reporting import emit
+        path = emit("test_artifact", "hello", out_dir=tmp_path)
+        assert path.read_text() == "hello"
+        assert "hello" in capsys.readouterr().out
+
+
+class TestGenQuality:
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        return build_similarity_graphs(num_vertices=600, mean_degree=10.0)
+
+    def test_graphs_comparable_size(self, graphs):
+        sizes = [graphs.livejournal.num_edges, graphs.fft.num_edges,
+                 graphs.ldbc.num_edges]
+        assert max(sizes) < 3 * min(sizes)
+
+    def test_fft_closer_than_ldbc(self, graphs):
+        """Table 8's headline: FFT-DG's community statistics diverge
+        less from the real graph than LDBC-DG's."""
+        table = similarity_table(graphs)
+        fft_avg = np.mean(list(table["FFT-DG"].values()))
+        ldbc_avg = np.mean(list(table["LDBC-DG"].values()))
+        assert fft_avg < ldbc_avg
+
+    def test_efficiency_headline(self):
+        """Fig. 9: FFT-DG ~1.5 trials/edge flat; LDBC-DG far more and
+        slower per edge."""
+        rows = efficiency_sweep(num_vertices=1200,
+                                alphas=(1.0, 10.0, 100.0))
+        for row in rows:
+            assert row["fft_trials_per_edge"] < 1.6
+            assert row["ldbc_trials_per_edge"] > 3.0
+            assert row["fft_edges_per_s"] > row["ldbc_edges_per_s"]
+
+
+class TestPerformanceExperiments:
+    def test_scale_up_uses_repricing(self):
+        curves = scale_up_curves(
+            algorithms=("pr",), datasets=("S8-Std",),
+            platforms=("Grape", "Ligra"),
+        )
+        assert len(curves) == 2
+        for curve in curves:
+            assert len(curve.xs) == 6
+            assert curve.seconds[0] > curve.seconds[-1]
+            assert curve.speedup > 10
+
+    def test_scale_up_excludes_graphx_tc(self):
+        assert ("GraphX", "tc") in SCALE_UP_EXCLUSIONS
+        curves = scale_up_curves(
+            algorithms=("tc",), datasets=("S8-Std",),
+            platforms=("GraphX", "Grape"),
+        )
+        assert {c.platform for c in curves} == {"Grape"}
+
+    def test_speedup_table_shape(self):
+        curves = scale_up_curves(
+            algorithms=("pr",), datasets=("S8-Std",),
+            platforms=("Grape", "Ligra"),
+        )
+        table = speedup_table(curves)
+        assert ("pr", "S8-Std") in table
+        assert set(table[("pr", "S8-Std")]) == {"Grape", "Ligra"}
+
+    def test_stress_test_headline(self):
+        results = stress_test()
+        assert results["GraphX"]["S10-Std"] == "oom"
+        assert results["Ligra"]["S10-Std"] == "oom"
+        assert results["Grape"]["S10-Std"] == "ok"
+        assert results["G-thinker"]["S10-Std"] == "ok"  # via TC fallback
+
+
+class TestStatics:
+    def test_popularity_rows(self):
+        rows = popularity_rows()
+        assert len(rows) == 8
+        assert rows[0][0] == "PR"
+
+    def test_workload_rows_cover_ten_algorithms(self):
+        assert len(workload_rows()) == 10
+
+    def test_dataset_rows_without_measurement(self):
+        rows = dataset_rows(measure=False)
+        assert len(rows) == 8
+        assert len(rows[0]) == 5
+
+    def test_platform_rows(self):
+        rows = platform_rows()
+        assert len(rows) == 7
+        assert ["Ligra", "C++", "vertex-centric"] in rows
+
+
+class TestWeightedCases:
+    def test_weighted_sssp_parity_on_catalog(self):
+        import numpy as np
+        from repro.algorithms.reference import dijkstra
+        from repro.datagen import build_dataset, uniform_weights
+        expected = dijkstra(
+            uniform_weights(build_dataset("S8-Std").graph, seed=0), 0
+        )
+        for name in ("Flash", "Grape"):
+            outcome = run_case(name, "sssp", "S8-Std", weighted=True)
+            assert outcome.status == "ok"
+            assert np.allclose(outcome.result.values, expected,
+                               equal_nan=True)
+
+    def test_weighted_and_unweighted_cached_separately(self):
+        a = run_case("Grape", "sssp", "S8-Std", weighted=True)
+        b = run_case("Grape", "sssp", "S8-Std", weighted=False)
+        assert a is not b

@@ -1,0 +1,58 @@
+"""Tests for the repro-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert "fig10" in out
+
+
+def test_table2(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "PR" in out
+    assert (tmp_path / "table02_popularity.txt").exists()
+
+
+def test_table3(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["table3"]) == 0
+    assert "Pattern Matching" in capsys.readouterr().out
+
+
+def test_fig9(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["fig9"]) == 0
+    assert "trials" in capsys.readouterr().out.lower()
+
+
+def test_stress(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["stress"]) == 0
+    out = capsys.readouterr().out
+    assert "GraphX" in out
+    assert "oom" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_ablations_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["ablations"]) == 0
+    assert (tmp_path / "ablations.txt").exists()
+
+
+def test_dynamic_command(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["dynamic"]) == 0
+    out = capsys.readouterr().out
+    assert "Incremental" in out

@@ -1,0 +1,53 @@
+"""Unit tests for the Fig. 14 selection-guide aggregation."""
+
+import pytest
+
+from repro.bench.selection import FIG14_METRICS, SelectionGuide, _normalize
+
+
+def _uniform(value: float) -> dict[str, float]:
+    return {metric: value for metric in FIG14_METRICS}
+
+
+class TestNormalize:
+    def test_scales_to_unit_max(self):
+        raw = {"A": _uniform(10.0), "B": _uniform(5.0)}
+        normalized = _normalize(raw)
+        assert normalized["A"]["stress"] == pytest.approx(1.0)
+        assert normalized["B"]["stress"] == pytest.approx(0.5)
+
+    def test_missing_metric_becomes_zero(self):
+        raw = {"A": _uniform(1.0), "B": {}}
+        normalized = _normalize(raw)
+        assert normalized["B"]["throughput"] == 0.0
+
+    def test_all_zero_metric_stays_zero(self):
+        raw = {"A": _uniform(0.0)}
+        assert _normalize(raw)["A"]["compliance"] == 0.0
+
+
+class TestArea:
+    def test_full_circle_is_one(self):
+        guide = SelectionGuide(metrics={"A": _uniform(1.0)}, ranking=["A"])
+        assert guide.area("A") == pytest.approx(1.0)
+
+    def test_zero_axis_hurts_superlinearly(self):
+        """A zeroed axis removes two adjacent-product terms — worse than
+        a proportional mean reduction."""
+        full = SelectionGuide(metrics={"A": _uniform(1.0)}, ranking=["A"])
+        dented = _uniform(1.0)
+        dented["machine_speedup"] = 0.0
+        guide = SelectionGuide(metrics={"A": dented}, ranking=["A"])
+        mean_reduction = 7.0 / 8.0
+        assert guide.area("A") < full.area("A") * mean_reduction
+
+    def test_adjacent_zeros_cheaper_than_spread_zeros(self):
+        adjacent = _uniform(1.0)
+        adjacent["machine_speedup"] = 0.0
+        adjacent["stress"] = 0.0  # adjacent to machine_speedup
+        spread = _uniform(1.0)
+        spread["machine_speedup"] = 0.0
+        spread["compliance"] = 0.0  # far from machine_speedup
+        g_adj = SelectionGuide(metrics={"A": adjacent}, ranking=["A"])
+        g_spr = SelectionGuide(metrics={"A": spread}, ranking=["A"])
+        assert g_adj.area("A") > g_spr.area("A")

@@ -1,0 +1,39 @@
+"""Tests for the Table-5 run metrics."""
+
+import pytest
+
+from repro.cluster import RunMetrics
+
+
+@pytest.fixture
+def metrics() -> RunMetrics:
+    return RunMetrics(
+        upload_seconds=2.0,
+        run_seconds=10.0,
+        writeback_seconds=0.5,
+        edges_processed=1_000_000,
+        compute_ops=5e6,
+        messages=200_000,
+        remote_bytes=1.6e6,
+        supersteps=11,
+    )
+
+
+def test_makespan(metrics):
+    assert metrics.makespan_seconds == pytest.approx(12.5)
+
+
+def test_throughput(metrics):
+    assert metrics.throughput_edges_per_second == pytest.approx(100_000.0)
+
+
+def test_throughput_zero_time():
+    m = RunMetrics(0, 0, 0, 10, 0, 0, 0, 0)
+    assert m.throughput_edges_per_second == float("inf")
+
+
+def test_as_row_keys(metrics):
+    row = metrics.as_row()
+    assert row["makespan_s"] == pytest.approx(12.5)
+    assert row["edges_per_s"] == pytest.approx(100_000.0)
+    assert row["supersteps"] == 11

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic graphs and cluster specs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, single_machine
+from repro.core import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path 0-1-2-3-4."""
+    return path_graph(5)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    """Complete graph on five vertices."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def two_components() -> Graph:
+    """A triangle {0,1,2} plus an edge {3,4} plus isolated vertex 5."""
+    return Graph.from_edges([0, 1, 2, 3], [1, 2, 0, 4], num_vertices=6)
+
+
+@pytest.fixture
+def medium_graph() -> Graph:
+    """A 200-vertex random graph: large enough to exercise real paths,
+    small enough for exact oracles."""
+    return random_graph(200, 800, seed=11)
+
+
+@pytest.fixture
+def weighted_graph() -> Graph:
+    """A weighted random graph for SSSP/BC."""
+    return random_graph(120, 500, seed=3, weighted=True)
+
+
+@pytest.fixture
+def cluster32() -> ClusterSpec:
+    """The paper's single-machine 32-thread configuration."""
+    return single_machine(32)

@@ -1,0 +1,100 @@
+"""Tests for the convenience graph constructors."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    path_graph,
+    random_graph,
+    star_graph,
+)
+from repro.errors import GeneratorParameterError
+
+
+def test_empty_graph():
+    g = empty_graph(7)
+    assert g.num_vertices == 7
+    assert g.num_edges == 0
+
+
+def test_path_graph_edges():
+    g = path_graph(4)
+    assert g.num_edges == 3
+    assert g.has_edge(2, 3)
+
+
+def test_path_graph_weighted():
+    g = path_graph(4, weighted=True)
+    assert g.is_weighted
+    assert g.edge_weight(0, 1) == pytest.approx(1.0)
+
+
+def test_path_graph_single_vertex():
+    assert path_graph(1).num_edges == 0
+
+
+def test_cycle_graph():
+    g = cycle_graph(5)
+    assert g.num_edges == 5
+    assert np.all(g.out_degrees() == 2)
+
+
+def test_cycle_rejects_small():
+    with pytest.raises(GeneratorParameterError):
+        cycle_graph(2)
+
+
+def test_star_graph():
+    g = star_graph(6)
+    assert g.degree(0) == 5
+    assert g.degree(3) == 1
+
+
+def test_star_tiny():
+    assert star_graph(1).num_edges == 0
+
+
+def test_complete_graph_undirected():
+    g = complete_graph(6)
+    assert g.num_edges == 15
+
+
+def test_complete_graph_directed():
+    g = complete_graph(4, directed=True)
+    assert g.num_edges == 12
+
+
+def test_grid_graph():
+    g = grid_graph(3, 4)
+    assert g.num_vertices == 12
+    # 3*(4-1) horizontal + (3-1)*4 vertical
+    assert g.num_edges == 9 + 8
+
+
+def test_random_graph_deterministic():
+    a = random_graph(50, 100, seed=5)
+    b = random_graph(50, 100, seed=5)
+    assert a == b
+
+
+def test_random_graph_seed_changes_output():
+    a = random_graph(50, 100, seed=5)
+    b = random_graph(50, 100, seed=6)
+    assert a != b
+
+
+def test_random_graph_weighted():
+    g = random_graph(30, 60, seed=1, weighted=True)
+    assert g.is_weighted
+    assert np.all(g.weights > 0)
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(GeneratorParameterError):
+        path_graph(-1)
+    with pytest.raises(GeneratorParameterError):
+        random_graph(-1, 5)

@@ -1,0 +1,117 @@
+"""Tests for distribution distances and rank statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    distribution_divergence,
+    histogram_distribution,
+    jensen_shannon_divergence,
+    relative_difference,
+    spearman_rho,
+)
+from repro.errors import BenchmarkError
+
+
+class TestHistogram:
+    def test_normalizes(self):
+        h = histogram_distribution(np.array([1.0, 1.0, 2.0, 3.0]), bins=3)
+        assert h.sum() == pytest.approx(1.0)
+
+    def test_empty_gives_uniform(self):
+        h = histogram_distribution(np.array([]), bins=4)
+        assert np.allclose(h, 0.25)
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(BenchmarkError):
+            histogram_distribution(np.array([1.0]), bins=0)
+
+
+class TestJensenShannon:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        p = np.array([0.7, 0.2, 0.1])
+        q = np.array([0.1, 0.5, 0.4])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_renormalizes_counts(self):
+        p = np.array([2.0, 3.0, 5.0])
+        q = np.array([0.2, 0.3, 0.5])
+        assert jensen_shannon_divergence(p, q) == pytest.approx(0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            jensen_shannon_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(BenchmarkError):
+            jensen_shannon_divergence(np.zeros(3), np.ones(3))
+
+
+class TestDistributionDivergence:
+    def test_same_samples_zero(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert distribution_divergence(a, a) == pytest.approx(0.0)
+
+    def test_shifted_samples_positive(self):
+        a = np.random.default_rng(0).normal(0, 1, 200)
+        b = np.random.default_rng(1).normal(5, 1, 200)
+        assert distribution_divergence(a, b) > 0.5
+
+    def test_both_empty(self):
+        assert distribution_divergence(np.array([]), np.array([])) == 0.0
+
+    def test_constant_samples(self):
+        a = np.full(5, 2.0)
+        assert distribution_divergence(a, a) == pytest.approx(0.0)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(x, x * 10) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rho(x, -x) == pytest.approx(-1.0)
+
+    def test_ties_averaged(self):
+        x = np.array([1.0, 1.0, 2.0])
+        y = np.array([1.0, 2.0, 3.0])
+        rho = spearman_rho(x, y)
+        assert -1.0 <= rho <= 1.0
+
+    def test_known_value(self):
+        # Classic example: one swap among four.
+        rho = spearman_rho(np.array([1, 2, 3, 4.0]), np.array([1, 3, 2, 4.0]))
+        assert rho == pytest.approx(0.8)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(BenchmarkError):
+            spearman_rho(np.array([1.0]), np.array([2.0]))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(BenchmarkError):
+            spearman_rho(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestRelativeDifference:
+    def test_basic(self):
+        assert relative_difference(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_symmetric_sign(self):
+        assert relative_difference(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(BenchmarkError):
+            relative_difference(1.0, 0.0)

@@ -1,0 +1,178 @@
+"""Tests for the CSR Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.core import Graph, EdgeList, path_graph
+from repro.errors import GraphFormatError, GraphStructureError
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([0, 1], [1, 2])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert not g.directed
+
+    def test_num_vertices_explicit(self):
+        g = Graph.from_edges([0], [1], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([0, 5], [1, 1], num_vertices=3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([-1], [1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([0, 1], [1])
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edges([0, 1], [1, 2], weights=[1.0])
+
+    def test_dedup_undirected_reversed_duplicates(self):
+        g = Graph.from_edges([0, 1, 0], [1, 0, 1])
+        assert g.num_edges == 1
+
+    def test_dedup_directed_keeps_both_directions(self):
+        g = Graph.from_edges([0, 1], [1, 0], directed=True)
+        assert g.num_edges == 2
+
+    def test_self_loops_dropped_by_default(self):
+        g = Graph.from_edges([0, 1], [0, 2])
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_on_request(self):
+        g = Graph.from_edges([0, 1], [0, 2], drop_self_loops=False,
+                             dedup=False)
+        assert g.num_edges == 2
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], [], num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert g.density == 0.0
+
+    def test_from_edge_list(self):
+        el = EdgeList(
+            src=np.array([0, 1]), dst=np.array([1, 2]), num_vertices=5
+        )
+        g = Graph.from_edge_list(el)
+        assert g.num_vertices == 5
+        assert g.num_edges == 2
+
+    def test_edge_list_validates_shapes(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(src=np.array([0, 1]), dst=np.array([1]))
+
+    def test_from_arrays_roundtrip(self):
+        g = path_graph(6)
+        g2 = Graph.from_arrays(g.indptr, g.indices, directed=False)
+        assert g == g2
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_arrays(np.array([0, 5]), np.array([1]), directed=True)
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, k5):
+        assert np.array_equal(k5.neighbors(2), [0, 1, 3, 4])
+
+    def test_degrees(self, path5):
+        assert np.array_equal(path5.out_degrees(), [1, 2, 2, 2, 1])
+
+    def test_in_degrees_directed(self):
+        g = Graph.from_edges([0, 1, 2], [2, 2, 0], directed=True)
+        assert np.array_equal(g.in_degrees(), [1, 0, 2])
+
+    def test_in_neighbors_directed(self):
+        g = Graph.from_edges([0, 1], [2, 2], directed=True)
+        assert np.array_equal(np.sort(g.in_neighbors(2)), [0, 1])
+        assert g.in_neighbors(0).size == 0
+
+    def test_has_edge(self, path5):
+        assert path5.has_edge(1, 2)
+        assert not path5.has_edge(0, 4)
+
+    def test_has_edge_directed_asymmetric(self):
+        g = Graph.from_edges([0], [1], directed=True)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_weight(self):
+        g = Graph.from_edges([0], [1], weights=[2.5])
+        assert g.edge_weight(0, 1) == pytest.approx(2.5)
+        with pytest.raises(GraphStructureError):
+            g.edge_weight(0, 0)
+
+    def test_edge_weight_requires_weights(self, path5):
+        with pytest.raises(GraphStructureError):
+            path5.edge_weight(0, 1)
+
+    def test_edges_iterator_counts_each_once(self, k5):
+        edges = list(k5.edges())
+        assert len(edges) == 10
+        assert all(u <= v for u, v in edges)
+
+    def test_edge_arrays_logical(self, k5):
+        src, dst, w = k5.edge_arrays()
+        assert src.shape[0] == 10
+        assert w is None
+
+    def test_density_complete(self, k5):
+        assert k5.density == pytest.approx(1.0)
+
+    def test_memory_bytes_positive(self, k5):
+        assert k5.memory_bytes() > 0
+
+    def test_repr(self, k5):
+        assert "n=5" in repr(k5)
+        assert "m=10" in repr(k5)
+
+
+class TestTransformations:
+    def test_to_undirected(self):
+        g = Graph.from_edges([0, 1], [1, 2], directed=True)
+        u = g.to_undirected()
+        assert not u.directed
+        assert u.num_edges == 2
+        assert u.has_edge(1, 0)
+
+    def test_to_undirected_identity(self, path5):
+        assert path5.to_undirected() is path5
+
+    def test_with_weights(self, path5):
+        w = path5.with_weights(np.arange(1.0, 5.0))
+        assert w.is_weighted
+        assert w.num_edges == path5.num_edges
+        assert w.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_with_weights_validates_length(self, path5):
+        with pytest.raises(GraphFormatError):
+            path5.with_weights(np.ones(3))
+
+    def test_subgraph_relabels(self, k5):
+        sub = k5.subgraph([1, 3, 4])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle
+
+    def test_subgraph_out_of_range(self, k5):
+        import pytest
+        with pytest.raises(GraphFormatError):
+            k5.subgraph([0, 99])
+
+    def test_subgraph_keeps_weights(self):
+        g = Graph.from_edges([0, 1, 2], [1, 2, 3],
+                             weights=[1.0, 2.0, 3.0])
+        sub = g.subgraph([1, 2])
+        assert sub.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_equality_and_inequality(self, path5):
+        assert path5 == path_graph(5)
+        assert path5 != path_graph(6)

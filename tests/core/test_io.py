@@ -1,0 +1,94 @@
+"""Tests for edge-list and binary graph serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Graph,
+    load_binary,
+    random_graph,
+    read_edge_list,
+    save_binary,
+    write_edge_list,
+)
+from repro.errors import GraphFormatError
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = random_graph(40, 120, seed=2)
+    path = tmp_path / "graph.e"
+    write_edge_list(g, path)
+    g2 = read_edge_list(path, num_vertices=g.num_vertices)
+    assert g == g2
+
+
+def test_edge_list_weighted_roundtrip(tmp_path):
+    g = random_graph(30, 60, seed=4, weighted=True)
+    path = tmp_path / "graph.e"
+    write_edge_list(g, path)
+    g2 = read_edge_list(path, num_vertices=g.num_vertices)
+    assert g2.is_weighted
+    src, dst, w = g.edge_arrays()
+    src2, dst2, w2 = g2.edge_arrays()
+    assert np.array_equal(src, src2)
+    assert np.allclose(w, w2, rtol=1e-4)
+
+
+def test_read_from_text_handle():
+    text = io.StringIO("# comment\n0 1\n1 2\n\n2 3\n")
+    g = read_edge_list(text)
+    assert g.num_edges == 3
+
+
+def test_read_rejects_inconsistent_fields():
+    text = io.StringIO("0 1\n1 2 3.5\n")
+    with pytest.raises(GraphFormatError):
+        read_edge_list(text)
+
+
+def test_read_rejects_garbage():
+    text = io.StringIO("a b\n")
+    with pytest.raises(GraphFormatError):
+        read_edge_list(text)
+
+
+def test_read_rejects_wrong_field_count():
+    text = io.StringIO("0 1 2 3\n")
+    with pytest.raises(GraphFormatError):
+        read_edge_list(text)
+
+
+def test_header_written(tmp_path):
+    g = random_graph(10, 20, seed=0)
+    path = tmp_path / "g.e"
+    write_edge_list(g, path)
+    first = path.read_text().splitlines()[0]
+    assert first.startswith("#")
+    assert "undirected" in first
+
+
+def test_binary_roundtrip(tmp_path):
+    g = random_graph(60, 200, seed=9, weighted=True)
+    path = tmp_path / "g.npz"
+    save_binary(g, path)
+    g2 = load_binary(path)
+    assert g == g2
+    assert g2.num_edges == g.num_edges
+
+
+def test_binary_directed_roundtrip(tmp_path):
+    g = random_graph(30, 80, seed=1, directed=True)
+    path = tmp_path / "g.npz"
+    save_binary(g, path)
+    g2 = load_binary(path)
+    assert g2.directed
+    assert g == g2
+
+
+def test_binary_rejects_foreign_archive(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, magic=np.frombuffer(b"nope", dtype=np.uint8))
+    with pytest.raises(GraphFormatError):
+        load_binary(path)

@@ -1,0 +1,91 @@
+"""Tests for graph partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Partition,
+    block_partition,
+    edge_cut,
+    hash_partition,
+    load_imbalance,
+    path_graph,
+    random_graph,
+    range_partition,
+)
+from repro.errors import ClusterConfigError
+
+
+def test_hash_partition_covers_all_parts(medium_graph):
+    p = hash_partition(medium_graph, 8)
+    assert np.unique(p.owner).size == 8
+
+
+def test_hash_partition_deterministic(medium_graph):
+    a = hash_partition(medium_graph, 8)
+    b = hash_partition(medium_graph, 8)
+    assert np.array_equal(a.owner, b.owner)
+
+
+def test_hash_partition_roughly_balanced(medium_graph):
+    p = hash_partition(medium_graph, 4)
+    sizes = p.sizes()
+    assert sizes.max() < 2 * sizes.min()
+
+
+def test_range_partition_contiguous():
+    g = path_graph(100)
+    p = range_partition(g, 4)
+    assert np.all(np.diff(p.owner) >= 0)
+    assert np.array_equal(p.sizes(), [25, 25, 25, 25])
+
+
+def test_range_partition_uneven():
+    g = path_graph(10)
+    p = range_partition(g, 3)
+    assert p.sizes().sum() == 10
+    assert p.owner.max() == 2
+
+
+def test_block_partition_members():
+    g = path_graph(12)
+    partition, blocks = block_partition(g, 3)
+    assert len(blocks) == 3
+    assert np.array_equal(blocks[0], np.arange(4))
+
+
+def test_edge_cut_path_range():
+    g = path_graph(100)
+    p = range_partition(g, 4)
+    assert edge_cut(g, p) == 3  # only the three boundary edges
+
+
+def test_edge_cut_hash_much_larger(medium_graph):
+    cut_hash = edge_cut(medium_graph, hash_partition(medium_graph, 8))
+    assert cut_hash > medium_graph.num_edges * 0.5
+
+
+def test_load_imbalance_balanced():
+    g = path_graph(64)
+    assert load_imbalance(g, range_partition(g, 4)) == pytest.approx(
+        1.0, abs=0.1
+    )
+
+
+def test_partition_members(medium_graph):
+    p = hash_partition(medium_graph, 4)
+    total = sum(p.members(i).size for i in range(4))
+    assert total == medium_graph.num_vertices
+
+
+def test_invalid_num_parts():
+    g = path_graph(5)
+    with pytest.raises(ClusterConfigError):
+        hash_partition(g, 0)
+    with pytest.raises(ClusterConfigError):
+        range_partition(g, 0)
+
+
+def test_partition_validates_owner_range():
+    with pytest.raises(ClusterConfigError):
+        Partition(owner=np.array([0, 5]), num_parts=2)

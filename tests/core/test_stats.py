@@ -1,0 +1,115 @@
+"""Tests for whole-graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Graph,
+    approximate_diameter,
+    average_clustering,
+    complete_graph,
+    cycle_graph,
+    degree_histogram,
+    effective_diameter,
+    exact_diameter,
+    global_clustering,
+    grid_graph,
+    local_clustering,
+    path_graph,
+    power_law_exponent,
+    random_graph,
+    star_graph,
+    summarize,
+    triangle_count,
+)
+from repro.datagen import barabasi_albert
+
+
+def test_exact_diameter_path():
+    assert exact_diameter(path_graph(10)) == 9
+
+
+def test_exact_diameter_complete():
+    assert exact_diameter(complete_graph(6)) == 1
+
+
+def test_exact_diameter_grid():
+    assert exact_diameter(grid_graph(3, 5)) == 2 + 4
+
+
+def test_approximate_diameter_matches_exact_on_small(medium_graph):
+    approx = approximate_diameter(medium_graph, sweeps=6)
+    exact = exact_diameter(medium_graph)
+    assert approx <= exact
+    assert approx >= exact - 1  # double sweep is near-exact on small graphs
+
+
+def test_approximate_diameter_empty():
+    assert approximate_diameter(Graph.from_edges([], [], num_vertices=3)) == 0
+
+
+def test_effective_diameter_small_world():
+    g = complete_graph(20)
+    assert effective_diameter(g) == pytest.approx(1.0)
+
+
+def test_local_clustering_triangle_plus_tail():
+    # Triangle 0-1-2 with pendant 3 attached to 2.
+    g = Graph.from_edges([0, 1, 2, 2], [1, 2, 0, 3])
+    cc = local_clustering(g)
+    assert cc[0] == pytest.approx(1.0)
+    assert cc[2] == pytest.approx(1.0 / 3.0)
+    assert cc[3] == 0.0
+
+
+def test_average_clustering_complete(k5):
+    assert average_clustering(k5) == pytest.approx(1.0)
+
+
+def test_average_clustering_star():
+    assert average_clustering(star_graph(8)) == 0.0
+
+
+def test_global_clustering_triangle():
+    g = cycle_graph(3)
+    assert global_clustering(g) == pytest.approx(1.0)
+
+
+def test_global_clustering_star_zero():
+    assert global_clustering(star_graph(6)) == 0.0
+
+
+def test_triangle_count_known_values(k5):
+    assert triangle_count(k5) == 10
+    assert triangle_count(cycle_graph(5)) == 0
+    assert triangle_count(grid_graph(3, 3)) == 0
+
+
+def test_degree_histogram(path5):
+    hist = degree_histogram(path5)
+    assert hist[1] == 2
+    assert hist[2] == 3
+
+
+def test_degree_histogram_empty():
+    hist = degree_histogram(Graph.from_edges([], [], num_vertices=0))
+    assert hist.sum() == 0
+
+
+def test_power_law_exponent_on_ba_graph():
+    g = barabasi_albert(800, 3, seed=1).graph
+    alpha = power_law_exponent(g)
+    assert 1.8 < alpha < 3.8  # BA graphs have exponent ~3
+
+
+def test_power_law_exponent_degenerate():
+    assert np.isnan(power_law_exponent(path_graph(2)))
+
+
+def test_summarize_row(medium_graph):
+    summary = summarize(medium_graph)
+    row = summary.as_row()
+    assert row["n"] == 200
+    assert row["m"] == medium_graph.num_edges
+    assert 0 < row["density"] < 1
+    assert row["diameter"] >= 1

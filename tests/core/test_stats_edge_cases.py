@@ -1,0 +1,84 @@
+"""Additional edge-case tests for statistics and distance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Graph,
+    approximate_diameter,
+    average_clustering,
+    community_statistics,
+    detect_communities,
+    effective_diameter,
+    empty_graph,
+    exact_diameter,
+    global_clustering,
+    star_graph,
+    summarize,
+    triangle_count,
+)
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_statistics(self):
+        g = empty_graph(10)
+        assert exact_diameter(g) == 0
+        assert triangle_count(g) == 0
+        assert average_clustering(g) == 0.0
+        assert global_clustering(g) == 0.0
+
+    def test_zero_vertex_graph(self):
+        g = Graph.from_edges([], [], num_vertices=0)
+        summary = summarize(g)
+        assert summary.num_vertices == 0
+        assert summary.average_degree == 0.0
+
+    def test_single_edge(self):
+        g = Graph.from_edges([0], [1])
+        assert exact_diameter(g) == 1
+        assert effective_diameter(g) == pytest.approx(1.0)
+
+    def test_self_contained_component_diameter(self):
+        # diameter operates on the largest component
+        g = Graph.from_edges([0, 1, 3], [1, 2, 4], num_vertices=5)
+        assert exact_diameter(g) == 2
+        assert approximate_diameter(g) == 2
+
+
+class TestCommunityEdgeCases:
+    def test_empty_graph_communities(self):
+        comms = detect_communities(empty_graph(4))
+        assert len(comms) == 4  # singletons
+
+    def test_star_is_one_community(self):
+        comms = detect_communities(star_graph(8))
+        assert comms[0].size == 8
+
+    def test_single_vertex_community_statistics(self):
+        g = star_graph(5)
+        stats = community_statistics(g, np.array([1]))
+        assert stats.size == 1
+        assert stats.cc == 0.0
+        assert stats.diameter == 0
+
+    def test_community_statistics_pair(self):
+        g = Graph.from_edges([0], [1], num_vertices=4)
+        stats = community_statistics(g, np.array([0, 1]))
+        assert stats.diameter == 1
+        assert stats.bridge_ratio == pytest.approx(1.0)
+        assert stats.conductance == 0.0  # no edges leave the pair
+
+
+class TestDiameterEstimation:
+    def test_approximate_never_exceeds_exact(self):
+        from repro.core import random_graph
+        for seed in range(5):
+            g = random_graph(80, 200, seed=seed)
+            assert approximate_diameter(g, sweeps=4) <= exact_diameter(g)
+
+    def test_more_sweeps_never_worse(self):
+        from repro.core import random_graph
+        g = random_graph(150, 350, seed=9)
+        few = approximate_diameter(g, sweeps=1)
+        many = approximate_diameter(g, sweeps=8)
+        assert many >= few

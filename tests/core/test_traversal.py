@@ -1,0 +1,81 @@
+"""Tests for BFS and connectivity primitives."""
+
+import numpy as np
+
+from repro.core import (
+    Graph,
+    bfs_levels,
+    bfs_order,
+    connected_components,
+    cycle_graph,
+    eccentricity,
+    grid_graph,
+    largest_component,
+    path_graph,
+    random_graph,
+)
+
+
+def test_bfs_levels_path():
+    levels = bfs_levels(path_graph(5), 0)
+    assert np.array_equal(levels, [0, 1, 2, 3, 4])
+
+
+def test_bfs_levels_unreachable():
+    g = Graph.from_edges([0], [1], num_vertices=4)
+    levels = bfs_levels(g, 0)
+    assert levels[1] == 1
+    assert levels[2] == -1
+    assert levels[3] == -1
+
+
+def test_bfs_levels_directed_respects_direction():
+    g = Graph.from_edges([0, 1], [1, 2], directed=True)
+    assert np.array_equal(bfs_levels(g, 0), [0, 1, 2])
+    assert np.array_equal(bfs_levels(g, 2), [-1, -1, 0])
+
+
+def test_bfs_order_levels_monotone(medium_graph):
+    order = bfs_order(medium_graph, 0)
+    levels = bfs_levels(medium_graph, 0)
+    assert np.all(np.diff(levels[order]) >= 0)
+
+
+def test_eccentricity_cycle():
+    assert eccentricity(cycle_graph(8), 0) == 4
+
+
+def test_connected_components_labels(two_components):
+    labels = connected_components(two_components)
+    assert labels[0] == labels[1] == labels[2] == 0
+    assert labels[3] == labels[4] == 3
+    assert labels[5] == 5
+
+
+def test_connected_components_directed_weak():
+    g = Graph.from_edges([0, 2], [1, 1], directed=True)
+    labels = connected_components(g)
+    assert labels[0] == labels[1] == labels[2]
+
+
+def test_connected_components_long_path():
+    # Pointer jumping must converge on a 500-vertex path quickly.
+    labels = connected_components(path_graph(500))
+    assert np.all(labels == 0)
+
+
+def test_largest_component(two_components):
+    assert np.array_equal(largest_component(two_components), [0, 1, 2])
+
+
+def test_grid_fully_connected():
+    labels = connected_components(grid_graph(5, 5))
+    assert np.unique(labels).size == 1
+
+
+def test_bfs_matches_grid_manhattan():
+    g = grid_graph(4, 4)
+    levels = bfs_levels(g, 0)
+    for r in range(4):
+        for c in range(4):
+            assert levels[r * 4 + c] == r + c

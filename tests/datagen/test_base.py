@@ -1,0 +1,98 @@
+"""Tests for generator infrastructure (trial counting, homophily order)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    GenerationResult,
+    TrialCounter,
+    generate_vertex_properties,
+    homophily_order,
+)
+from repro.datagen.base import VertexProperties
+from repro.core import path_graph
+from repro.errors import GeneratorParameterError
+
+
+class TestTrialCounter:
+    def test_record(self):
+        c = TrialCounter()
+        c.record_trial(True)
+        c.record_trial(False)
+        c.record_trial(True)
+        assert c.trials == 3
+        assert c.edges == 2
+        assert c.failures == 1
+
+    def test_trials_per_edge(self):
+        c = TrialCounter(trials=30, edges=10)
+        assert c.trials_per_edge == pytest.approx(3.0)
+
+    def test_trials_per_edge_degenerate(self):
+        assert TrialCounter().trials_per_edge == 0.0
+        assert TrialCounter(trials=5, edges=0).trials_per_edge == float("inf")
+
+    def test_merge(self):
+        a = TrialCounter(trials=10, edges=4)
+        b = TrialCounter(trials=5, edges=5)
+        a.merge(b)
+        assert a.trials == 15
+        assert a.edges == 9
+
+
+class TestGenerationResult:
+    def test_edges_per_second(self):
+        r = GenerationResult(
+            graph=path_graph(11), counter=TrialCounter(),
+            elapsed_seconds=2.0,
+        )
+        assert r.edges_per_second == pytest.approx(5.0)
+
+    def test_zero_elapsed(self):
+        r = GenerationResult(
+            graph=path_graph(3), counter=TrialCounter(), elapsed_seconds=0.0
+        )
+        assert r.edges_per_second == float("inf")
+
+
+class TestHomophilyOrder:
+    def test_properties_shapes(self):
+        props = generate_vertex_properties(50, seed=1)
+        assert props.location.shape == (50, 2)
+        assert props.interest.shape == (50,)
+
+    def test_rejects_negative(self):
+        with pytest.raises(GeneratorParameterError):
+            generate_vertex_properties(-1)
+
+    def test_order_is_permutation(self):
+        props = generate_vertex_properties(100, seed=2)
+        order = homophily_order(props)
+        assert np.array_equal(np.sort(order), np.arange(100))
+
+    def test_interest_groups_contiguous(self):
+        """Vertices sharing an interest end up adjacent in the order."""
+        props = generate_vertex_properties(200, seed=3)
+        order = homophily_order(props)
+        interests = props.interest[order]
+        # interests along the order are sorted
+        assert np.all(np.diff(interests) >= 0)
+
+    def test_deterministic(self):
+        a = homophily_order(generate_vertex_properties(80, seed=4))
+        b = homophily_order(generate_vertex_properties(80, seed=4))
+        assert np.array_equal(a, b)
+
+    def test_zorder_groups_nearby_locations(self):
+        # Two clusters of locations with one interest: Z-order must not
+        # interleave far-apart clusters.
+        loc = np.zeros((4, 2), dtype=np.uint32)
+        loc[0] = (0, 0)
+        loc[1] = (1, 1)
+        loc[2] = (60000, 60000)
+        loc[3] = (60001, 60001)
+        props = VertexProperties(location=loc,
+                                 interest=np.zeros(4, dtype=np.int64))
+        order = homophily_order(props).tolist()
+        assert abs(order.index(0) - order.index(1)) == 1
+        assert abs(order.index(2) - order.index(3)) == 1

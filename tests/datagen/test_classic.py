@@ -1,0 +1,126 @@
+"""Tests for the classic generators (ER, WS, BA) and Kronecker."""
+
+import numpy as np
+import pytest
+
+from repro.core import average_clustering, connected_components
+from repro.datagen import (
+    KroneckerConfig,
+    barabasi_albert,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    kronecker,
+    watts_strogatz,
+)
+from repro.errors import GeneratorParameterError
+
+
+class TestErdosRenyi:
+    def test_gnp_edge_count_near_expectation(self):
+        result = erdos_renyi_gnp(100, 0.1, seed=0)
+        expected = 0.1 * 100 * 99 / 2
+        assert result.graph.num_edges == pytest.approx(expected, rel=0.25)
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0).graph.num_edges == 0
+        assert erdos_renyi_gnp(10, 1.0).graph.num_edges == 45
+
+    def test_gnp_counts_all_pairs_as_trials(self):
+        result = erdos_renyi_gnp(20, 0.3, seed=1)
+        assert result.counter.trials == 190
+
+    def test_gnp_rejects_bad_p(self):
+        with pytest.raises(GeneratorParameterError):
+            erdos_renyi_gnp(10, 1.5)
+
+    def test_gnm_exact_count(self):
+        result = erdos_renyi_gnm(50, 200, seed=2)
+        assert result.graph.num_edges == 200
+
+    def test_gnm_rejects_impossible(self):
+        with pytest.raises(GeneratorParameterError):
+            erdos_renyi_gnm(5, 100)
+
+    def test_gnm_deterministic(self):
+        assert erdos_renyi_gnm(40, 80, seed=3).graph == \
+            erdos_renyi_gnm(40, 80, seed=3).graph
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_keeps_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0).graph
+        assert g.num_edges == 40
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_high_clustering_at_low_beta(self):
+        g = watts_strogatz(100, 6, 0.05, seed=1).graph
+        assert average_clustering(g) > 0.3
+
+    def test_rewiring_reduces_clustering(self):
+        low = watts_strogatz(100, 6, 0.0, seed=1).graph
+        high = watts_strogatz(100, 6, 1.0, seed=1).graph
+        assert average_clustering(high) < average_clustering(low)
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(GeneratorParameterError):
+            watts_strogatz(10, 4, 2.0)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0).graph
+        assert g.num_edges == pytest.approx((100 - 3) * 3, abs=5)
+
+    def test_connected(self):
+        g = barabasi_albert(200, 2, seed=1).graph
+        labels = connected_components(g)
+        # all vertices that have edges belong to one component
+        assert np.unique(labels[2:]).size == 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 2, seed=2).graph
+        degrees = g.out_degrees()
+        assert degrees.max() > 8 * np.median(degrees[degrees > 0])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(GeneratorParameterError):
+            barabasi_albert(5, 5)
+        with pytest.raises(GeneratorParameterError):
+            barabasi_albert(10, 0)
+
+
+class TestKronecker:
+    def test_vertex_count_power_of_two(self):
+        result = kronecker(KroneckerConfig(scale=8, seed=0))
+        assert result.graph.num_vertices == 256
+
+    def test_edge_factor_trials(self):
+        cfg = KroneckerConfig(scale=7, edge_factor=8, seed=1)
+        result = kronecker(cfg)
+        assert result.counter.trials == 8 * 128
+        # dedup/self-loop removal shrinks the final edge count
+        assert result.graph.num_edges <= 8 * 128
+
+    def test_skewed_degrees(self):
+        g = kronecker(KroneckerConfig(scale=10, seed=2)).graph
+        degrees = g.out_degrees()
+        positive = degrees[degrees > 0]
+        assert degrees.max() > 5 * np.median(positive)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(GeneratorParameterError):
+            KroneckerConfig(scale=4, a=0.6, b=0.3, c=0.2)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(GeneratorParameterError):
+            KroneckerConfig(scale=0)
+
+    def test_deterministic(self):
+        a = kronecker(KroneckerConfig(scale=6, seed=5)).graph
+        b = kronecker(KroneckerConfig(scale=6, seed=5)).graph
+        assert a == b

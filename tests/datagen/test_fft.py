@@ -1,0 +1,125 @@
+"""Tests for FFT-DG, the paper's failure-free trial generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import approximate_diameter, connected_components
+from repro.datagen import (
+    FFTDG,
+    FFTDGConfig,
+    GROUP_DIAMETER,
+    generate_fft,
+    groups_for_diameter,
+)
+from repro.datagen.fft import calibrate_alpha
+from repro.errors import GeneratorParameterError
+
+
+class TestConfig:
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(GeneratorParameterError):
+            FFTDGConfig(num_vertices=10, alpha=0.5)
+
+    def test_rejects_negative_c0(self):
+        with pytest.raises(GeneratorParameterError):
+            FFTDGConfig(num_vertices=10, c0=-1.0)
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(GeneratorParameterError):
+            FFTDGConfig(num_vertices=10, group_count=0)
+        with pytest.raises(GeneratorParameterError):
+            FFTDGConfig(num_vertices=10, group_count=100)
+
+    def test_group_size(self):
+        cfg = FFTDGConfig(num_vertices=100, group_count=7)
+        assert cfg.group_size == 15
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_fft(300, seed=5)
+        b = generate_fft(300, seed=5)
+        assert a.graph == b.graph
+        assert a.counter.trials == b.counter.trials
+
+    def test_seed_changes_graph(self):
+        a = generate_fft(300, seed=5)
+        b = generate_fft(300, seed=6)
+        assert a.graph != b.graph
+
+    def test_connected_via_path_edges(self):
+        g = generate_fft(400, seed=1).graph
+        labels = connected_components(g)
+        assert np.unique(labels).size == 1
+
+    def test_failure_free_trial_accounting(self):
+        """The headline claim: trials = edges + one terminator per vertex."""
+        result = generate_fft(500, alpha=10, seed=2, connect_path=False)
+        counter = result.counter
+        assert counter.failures <= 500  # at most one failed draw per source
+        assert counter.trials_per_edge < 1.6
+
+    def test_density_monotone_in_alpha(self):
+        sparse = generate_fft(500, alpha=1.0, seed=3).graph
+        dense = generate_fft(500, alpha=100.0, seed=3).graph
+        assert dense.num_edges > 2 * sparse.num_edges
+
+    def test_c0_zero_guarantees_adjacent_edges(self):
+        g = generate_fft(200, seed=4, connect_path=False).graph
+        for i in range(0, 150, 10):
+            assert g.has_edge(i, i + 1)
+
+    def test_target_edges_cap(self):
+        result = generate_fft(300, target_edges=100, seed=1,
+                              connect_path=False)
+        assert result.graph.num_edges <= 100
+
+    def test_tiny_graphs(self):
+        assert generate_fft(0).graph.num_vertices == 0
+        assert generate_fft(1).graph.num_edges == 0
+
+    def test_no_self_loops_or_duplicates(self):
+        g = generate_fft(300, alpha=50, seed=9).graph
+        src, dst, _ = g.edge_arrays()
+        assert np.all(src != dst)
+
+
+class TestDiameterGroups:
+    def test_groups_for_diameter(self):
+        assert groups_for_diameter(101) == round(101 / (GROUP_DIAMETER + 1))
+        assert groups_for_diameter(1) == 1
+
+    def test_groups_for_diameter_rejects_bad(self):
+        with pytest.raises(GeneratorParameterError):
+            groups_for_diameter(0)
+
+    def test_group_edges_confined(self):
+        cfg = FFTDGConfig(num_vertices=400, alpha=20, group_count=8,
+                          connect_path=False, use_homophily_order=False)
+        g = FFTDG(cfg).generate().graph
+        src, dst, _ = g.edge_arrays()
+        group_size = cfg.group_size
+        assert np.all(src // group_size == dst // group_size)
+
+    def test_diameter_grows_with_groups(self):
+        flat = generate_fft(800, alpha=20, seed=3).graph
+        grouped = generate_fft(800, alpha=20, group_count=10, seed=3).graph
+        assert (approximate_diameter(grouped)
+                > 3 * approximate_diameter(flat))
+
+
+class TestCalibration:
+    def test_calibrate_alpha_hits_target(self):
+        alpha = calibrate_alpha(600, 30.0, seed=1)
+        g = generate_fft(600, alpha=alpha, seed=1).graph
+        degree = 2 * g.num_edges / 600
+        assert degree == pytest.approx(30.0, rel=0.15)
+
+    def test_calibrate_alpha_monotone(self):
+        low = calibrate_alpha(600, 20.0, seed=1)
+        high = calibrate_alpha(600, 60.0, seed=1)
+        assert high > low
+
+    def test_calibrate_rejects_bad_target(self):
+        with pytest.raises(GeneratorParameterError):
+            calibrate_alpha(100, -1.0)

@@ -1,0 +1,83 @@
+"""Tests for the LDBC-DG baseline generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    LDBCDG,
+    LDBCDGConfig,
+    generate_ldbc,
+    ldbc_params_for_mean_degree,
+)
+from repro.errors import GeneratorParameterError
+
+
+class TestConfig:
+    def test_rejects_bad_p(self):
+        with pytest.raises(GeneratorParameterError):
+            LDBCDGConfig(num_vertices=10, p=1.0)
+        with pytest.raises(GeneratorParameterError):
+            LDBCDGConfig(num_vertices=10, p=0.0)
+
+    def test_rejects_bad_p_limit(self):
+        with pytest.raises(GeneratorParameterError):
+            LDBCDGConfig(num_vertices=10, p_limit=0.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(GeneratorParameterError):
+            LDBCDGConfig(num_vertices=10, degree_budget=-1)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_ldbc(300, seed=7)
+        b = generate_ldbc(300, seed=7)
+        assert a.graph == b.graph
+        assert a.counter.trials == b.counter.trials
+
+    def test_trials_include_failures(self):
+        result = generate_ldbc(300, p=0.5, p_limit=0.05, seed=1)
+        assert result.counter.failures > 0
+        assert result.counter.trials > result.counter.edges
+
+    def test_degree_budget_respected(self):
+        cfg = LDBCDGConfig(num_vertices=200, degree_budget=3, seed=2)
+        g = LDBCDG(cfg).generate().graph
+        # out-edges per source <= budget; total degree may be higher
+        src, _, _ = g.edge_arrays()
+        counts = np.bincount(src, minlength=200)
+        assert counts.max() <= 3
+
+    def test_target_edges_cap(self):
+        cfg = LDBCDGConfig(num_vertices=300, target_edges=50, seed=1)
+        assert LDBCDG(cfg).generate().graph.num_edges <= 50
+
+    def test_tiny_graphs(self):
+        assert generate_ldbc(0).graph.num_vertices == 0
+        assert generate_ldbc(1).graph.num_edges == 0
+
+    def test_edges_point_forward(self):
+        cfg = LDBCDGConfig(num_vertices=150, seed=3,
+                           use_homophily_order=False)
+        g = LDBCDG(cfg).generate().graph
+        src, dst, _ = g.edge_arrays()
+        assert np.all(dst > src)
+
+
+class TestDensityMatching:
+    def test_mean_degree_approximately_hit(self):
+        cfg = ldbc_params_for_mean_degree(800, 16.0)
+        g = LDBCDG(cfg).generate().graph
+        degree = 2 * g.num_edges / 800
+        assert degree == pytest.approx(16.0, rel=0.35)
+
+    def test_sparse_targets_are_inefficient(self):
+        """The paper's Fig. 9 claim: matched-density LDBC-DG needs many
+        trials per edge."""
+        cfg = ldbc_params_for_mean_degree(800, 16.0)
+        result = LDBCDG(cfg).generate()
+        assert result.counter.trials_per_edge > 5.0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(GeneratorParameterError):
+            ldbc_params_for_mean_degree(100, 0.0)

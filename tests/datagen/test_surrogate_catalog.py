@@ -1,0 +1,142 @@
+"""Tests for the LiveJournal surrogate, weights, and dataset catalog."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    approximate_diameter,
+    average_clustering,
+    connected_components,
+    effective_diameter,
+    path_graph,
+)
+from repro.datagen import (
+    DATASETS,
+    build_dataset,
+    clear_dataset_cache,
+    dataset_names,
+    exponential_weights,
+    livejournal_surrogate,
+    uniform_weights,
+    unit_weights,
+)
+from repro.errors import GeneratorParameterError
+
+
+class TestSurrogate:
+    def test_connected(self):
+        g = livejournal_surrogate(500, seed=1).graph
+        assert np.unique(connected_components(g)).size == 1
+
+    def test_high_clustering(self):
+        """LiveJournal's average CC is ~0.27; the surrogate must be in
+        the same regime (well above an ER graph's)."""
+        g = livejournal_surrogate(600, seed=2).graph
+        assert average_clustering(g) > 0.15
+
+    def test_small_effective_diameter(self):
+        g = livejournal_surrogate(800, seed=3).graph
+        assert effective_diameter(g) <= 9
+
+    def test_heavy_degree_tail(self):
+        g = livejournal_surrogate(800, seed=4).graph
+        degrees = g.out_degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_deterministic(self):
+        assert livejournal_surrogate(300, seed=5).graph == \
+            livejournal_surrogate(300, seed=5).graph
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GeneratorParameterError):
+            livejournal_surrogate(4)
+
+
+class TestWeights:
+    def test_unit_weights(self):
+        g = unit_weights(path_graph(5))
+        assert g.is_weighted
+        assert np.all(g.weights == 1.0)
+
+    def test_uniform_weights_range(self):
+        g = uniform_weights(path_graph(50), low=2.0, high=5.0, seed=1)
+        assert np.all(g.weights >= 2.0)
+        assert np.all(g.weights < 5.0)
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(GeneratorParameterError):
+            uniform_weights(path_graph(5), low=5.0, high=2.0)
+
+    def test_exponential_positive(self):
+        g = exponential_weights(path_graph(50), seed=2)
+        assert np.all(g.weights > 0)
+
+    def test_exponential_rejects_bad_scale(self):
+        with pytest.raises(GeneratorParameterError):
+            exponential_weights(path_graph(5), scale=-1.0)
+
+    def test_weights_preserve_structure(self):
+        base = path_graph(10)
+        g = uniform_weights(base, seed=0)
+        assert g.num_edges == base.num_edges
+        assert np.array_equal(g.indptr, base.indptr)
+
+
+class TestCatalog:
+    def test_catalog_has_eight_datasets(self):
+        assert len(DATASETS) == 8
+        assert dataset_names()[0] == "S8-Std"
+        assert "S10-Std" in DATASETS
+
+    def test_paper_statistics_recorded(self):
+        spec = DATASETS["S8-Std"]
+        assert spec.paper_vertices == 3_600_000
+        assert spec.paper_edges == 153_000_000
+        assert spec.paper_diameter == 6
+
+    def test_build_is_cached(self):
+        a = build_dataset("S8-Std")
+        b = build_dataset("S8-Std")
+        assert a is b
+
+    def test_cache_clear(self):
+        a = build_dataset("S8-Std")
+        clear_dataset_cache()
+        b = build_dataset("S8-Std")
+        assert a is not b
+        assert a.graph == b.graph  # still deterministic
+
+    def test_dense_variant_much_denser(self):
+        std = build_dataset("S8-Std").graph
+        dense = build_dataset("S8-Dense").graph
+        assert dense.density > 5 * std.density
+        assert dense.num_vertices == std.num_vertices // 3
+
+    def test_diam_variant_large_diameter(self):
+        std = build_dataset("S8-Std").graph
+        diam = build_dataset("S8-Diam").graph
+        assert approximate_diameter(diam) > 5 * approximate_diameter(std)
+
+    def test_std_diameter_small(self):
+        g = build_dataset("S8-Std").graph
+        assert approximate_diameter(g) <= 8  # paper: 6
+
+    def test_scales_ordered(self):
+        s8 = build_dataset("S8-Std").graph
+        s9 = build_dataset("S9-Std").graph
+        assert s9.num_vertices > 5 * s8.num_vertices
+        assert s9.num_edges > 5 * s8.num_edges
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            build_dataset("S99-Nope")
+
+    def test_bad_divisors_rejected(self):
+        with pytest.raises(GeneratorParameterError):
+            build_dataset("S8-Std", scale_divisor=0)
+        with pytest.raises(GeneratorParameterError):
+            build_dataset("S8-Std", degree_divisor=0)
+
+    def test_custom_scale_divisor(self):
+        small = build_dataset("S8-Std", scale_divisor=10000)
+        assert small.graph.num_vertices == 360

@@ -1,0 +1,49 @@
+"""Dataset-sensitivity of scaling (Section 8.3): most platforms scale
+threads better on Dense and worse on Diam than on Std."""
+
+import pytest
+
+from repro.cluster import price_trace, single_machine
+from repro.datagen import build_dataset
+from repro.platforms import get_platform
+
+
+def _scaleup(platform_name: str, algorithm: str, dataset: str) -> float:
+    platform = get_platform(platform_name)
+    graph = build_dataset(dataset).graph
+    run = platform.run(algorithm, graph, single_machine(32))
+    lo = max(platform.profile.min_threads.get(algorithm, 1), 1)
+    cost = platform.profile.cost
+    t_lo = price_trace(run.trace, single_machine(lo), cost).seconds
+    t_hi = price_trace(run.trace, single_machine(32), cost).seconds
+    return t_lo / t_hi
+
+
+def test_sssp_diam_sensitivity_is_mixed_but_bounded():
+    """Table 10's SSSP column is mixed on Diam (Grape and PowerGraph
+    degrade, Pregel+ and Ligra do not); we assert the same: at least
+    one platform degrades, and nobody's factor moves wildly."""
+    degraded = 0
+    for name in ("Grape", "Pregel+", "Ligra"):
+        std = _scaleup(name, "sssp", "S8-Std")
+        diam = _scaleup(name, "sssp", "S8-Diam")
+        if diam < std * 0.95:
+            degraded += 1
+        assert 0.5 * std < diam < 1.5 * std
+    assert degraded >= 1
+
+
+def test_tc_scaleup_insensitive_to_diameter():
+    """TC has no per-level synchronization, so diameter barely matters."""
+    std = _scaleup("Grape", "tc", "S8-Std")
+    diam = _scaleup("Grape", "tc", "S8-Diam")
+    assert diam == pytest.approx(std, rel=0.35)
+
+
+def test_dense_scales_at_least_as_well_for_pr():
+    """Dense datasets have more work per superstep -> more parallel
+    slack for the iterative algorithms."""
+    for name in ("Pregel+", "Ligra"):
+        std = _scaleup(name, "pr", "S8-Std")
+        dense = _scaleup(name, "pr", "S8-Dense")
+        assert dense > std * 0.85

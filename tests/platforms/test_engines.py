@@ -1,0 +1,199 @@
+"""Engine-level behaviour tests: metering semantics, feature flags,
+superstep counts, and error handling."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import NUM_PARTS, TraceRecorder, single_machine
+from repro.core import Graph, path_graph, random_graph
+from repro.core.partition import hash_partition
+from repro.errors import ConvergenceError
+from repro.platforms import get_platform, get_profile
+from repro.platforms.edge_centric.engine import EdgePlacement
+from repro.platforms.vertex_centric.engine import (
+    VertexCentricEngine,
+    VertexProgram,
+)
+
+
+class _EchoProgram(VertexProgram):
+    """Sends one message along each edge at superstep 0, counts receipts."""
+
+    def setup(self, graph):
+        self.received = np.zeros(graph.num_vertices, dtype=np.int64)
+
+    def compute(self, v, messages, ctx):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, 1)
+        else:
+            self.received[v] += len(messages)
+
+
+def _engine(graph, profile_name="Flash"):
+    recorder = TraceRecorder(NUM_PARTS)
+    profile = get_profile(profile_name)
+    partition = hash_partition(graph, NUM_PARTS)
+    return VertexCentricEngine(graph, partition, recorder, profile), recorder
+
+
+class TestVertexEngine:
+    def test_messages_delivered_once_per_edge(self):
+        g = random_graph(50, 200, seed=1)
+        engine, _ = _engine(g)
+        program = engine.run(_EchoProgram())
+        assert np.array_equal(program.received, g.out_degrees())
+
+    def test_supersteps_metered(self):
+        g = path_graph(10)
+        engine, recorder = _engine(g)
+        engine.run(_EchoProgram())
+        assert recorder.trace.supersteps == 2
+
+    def test_message_counts_metered(self):
+        g = random_graph(40, 150, seed=2)
+        engine, recorder = _engine(g)
+        engine.run(_EchoProgram())
+        # one message per adjacency slot
+        assert recorder.trace.total_messages == int(g.out_degrees().sum())
+
+    def test_full_scan_charged_without_vertex_subset(self):
+        g = path_graph(64)
+        _, rec_subset = _engine(g, "Flash")
+        engine_subset, rec_subset = _engine(g, "Flash")
+        engine_subset.run(_EchoProgram())
+        engine_full, rec_full = _engine(g, "GraphX")
+        engine_full.run(_EchoProgram())
+        # GraphX scans all 64 vertices every superstep.
+        assert rec_full.trace.total_ops > rec_subset.trace.total_ops
+
+    def test_combiner_reduces_messages(self):
+        g = random_graph(60, 400, seed=3)
+
+        class _SumProgram(_EchoProgram):
+            combine = staticmethod(lambda a, b: a + b)
+
+        _, rec_plain = _engine(g, "Flash")
+        engine_plain, rec_plain = _engine(g, "Flash")
+        engine_plain.run(_SumProgram())
+        engine_comb, rec_comb = _engine(g, "Pregel+")
+        engine_comb.run(_SumProgram())
+        assert rec_comb.trace.total_messages < rec_plain.trace.total_messages
+
+    def test_combiner_preserves_results(self):
+        g = random_graph(60, 400, seed=3)
+
+        class _SumProgram(VertexProgram):
+            combine = staticmethod(lambda a, b: a + b)
+
+            def setup(self, graph):
+                self.total = np.zeros(graph.num_vertices)
+
+            def compute(self, v, messages, ctx):
+                if ctx.superstep == 0:
+                    ctx.send_to_neighbors(v, 1.0)
+                else:
+                    self.total[v] = sum(messages)
+
+        engine_a, _ = _engine(g, "Flash")       # no combining
+        a = engine_a.run(_SumProgram()).total
+        engine_b, _ = _engine(g, "Pregel+")     # combining
+        b = engine_b.run(_SumProgram()).total
+        assert np.allclose(a, b)
+
+    def test_superstep_budget_enforced(self):
+        class _Forever(VertexProgram):
+            def compute(self, v, messages, ctx):
+                ctx.activate(v)
+
+        g = path_graph(4)
+        engine, _ = _engine(g)
+        with pytest.raises(ConvergenceError):
+            engine.run(_Forever(), max_supersteps=5)
+
+    def test_aggregator_visible_next_superstep(self):
+        class _Agg(VertexProgram):
+            def setup(self, graph):
+                self.seen = []
+
+            def compute(self, v, messages, ctx):
+                if ctx.superstep == 0:
+                    ctx.aggregate("x", 1.0)
+                    ctx.activate(v)
+                elif ctx.superstep == 1 and v == 0:
+                    self.seen.append(ctx.get_aggregate("x"))
+
+        g = path_graph(6)
+        engine, _ = _engine(g)
+        program = engine.run(_Agg(), max_supersteps=3)
+        assert program.seen == [6.0]
+
+
+class TestEdgePlacement:
+    def test_balanced_load(self):
+        g = random_graph(300, 1500, seed=5)
+        placement = EdgePlacement(g, 16)
+        load = np.zeros(16)
+        for parts in placement.neighbor_parts:
+            np.add.at(load, parts, 1)
+        assert load.max() <= 1.4 * load.mean()
+
+    def test_replication_factor_reasonable(self):
+        g = random_graph(300, 1500, seed=5)
+        placement = EdgePlacement(g, 16)
+        assert 1.0 <= placement.replication_factor() <= 8.0
+
+    def test_neighbor_lists_complete(self):
+        g = random_graph(100, 400, seed=6)
+        placement = EdgePlacement(g, 16)
+        for v in range(g.num_vertices):
+            assert np.array_equal(
+                np.sort(placement.neighbors[v]), g.neighbors(v)
+            )
+
+
+class TestSuperstepCounts:
+    """Supersteps drive the paper's diameter-sensitivity stories."""
+
+    def test_hashmin_tracks_diameter(self):
+        short = random_graph(200, 1000, seed=1)
+        long_path = path_graph(200)
+        cluster = single_machine()
+        gx = get_platform("GraphX")
+        steps_short = gx.run("wcc", short, cluster).metrics.supersteps
+        steps_long = gx.run("wcc", long_path, cluster).metrics.supersteps
+        assert steps_long > 5 * steps_short
+
+    def test_pointer_jumping_compresses_rounds(self):
+        long_path = path_graph(400)
+        cluster = single_machine()
+        hashmin_steps = get_platform("GraphX").run(
+            "wcc", long_path, cluster
+        ).metrics.supersteps
+        jump_steps = get_platform("Flash").run(
+            "wcc", long_path, cluster
+        ).metrics.supersteps
+        assert jump_steps < hashmin_steps / 4
+
+    def test_grape_rounds_insensitive_to_diameter(self):
+        long_path = path_graph(400)
+        cluster = single_machine()
+        grape_steps = get_platform("Grape").run(
+            "sssp", long_path, cluster
+        ).metrics.supersteps
+        # path crosses 16 blocks: rounds ~ blocks, not ~ 400 hops
+        assert grape_steps <= 20
+
+    def test_vertex_centric_sssp_tracks_depth(self):
+        long_path = path_graph(120)
+        cluster = single_machine()
+        steps = get_platform("Pregel+").run(
+            "sssp", long_path, cluster
+        ).metrics.supersteps
+        assert steps >= 119
+
+    def test_tc_constant_supersteps(self):
+        g = random_graph(100, 500, seed=2)
+        steps = get_platform("Flash").run(
+            "tc", g, single_machine()
+        ).metrics.supersteps
+        assert steps == 2

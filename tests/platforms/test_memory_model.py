@@ -1,0 +1,70 @@
+"""Tests for the memory model: OOM boundaries and the paper's
+exclusion patterns."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, single_machine
+from repro.datagen import build_dataset
+from repro.errors import OutOfMemoryError
+from repro.platforms import get_platform
+
+
+def test_subgraph_working_set_exceeds_graph_bytes():
+    g = build_dataset("S8-Std").graph
+    gx = get_platform("GraphX")
+    assert gx._working_set_extra_bytes("tc", g) > 0
+    assert gx._working_set_extra_bytes("kc", g) > \
+        gx._working_set_extra_bytes("tc", g)
+    assert gx._working_set_extra_bytes("pr", g) == 0.0
+
+
+def test_streaming_models_need_no_extra():
+    g = build_dataset("S8-Std").graph
+    assert get_platform("Grape")._working_set_extra_bytes("tc", g) == 0.0
+    assert get_platform("G-thinker")._working_set_extra_bytes("tc", g) == 0.0
+
+
+def test_vertex_subset_platforms_stream_buffers():
+    g = build_dataset("S8-Std").graph
+    flash = get_platform("Flash")._working_set_extra_bytes("tc", g)
+    pregel = get_platform("Pregel+")._working_set_extra_bytes("tc", g)
+    assert flash < pregel
+
+
+def test_s9_tc_oom_pattern():
+    """Table 11's missing TC rows: GraphX, PowerGraph, and Pregel+ cannot
+    start the S9 TC sweep on one machine; Flash, Grape, G-thinker can."""
+    g = build_dataset("S9-Std").graph
+    one = single_machine(32)
+    for name in ("GraphX", "PowerGraph", "Pregel+"):
+        with pytest.raises(OutOfMemoryError):
+            get_platform(name).check_capacity("tc", g, one)
+    for name in ("Flash", "Grape", "G-thinker"):
+        get_platform(name).check_capacity("tc", g, one)
+
+
+def test_oom_message_is_informative():
+    g = build_dataset("S9-Std").graph
+    with pytest.raises(OutOfMemoryError, match="GraphX/tc"):
+        get_platform("GraphX").check_capacity("tc", g, single_machine(32))
+
+
+def test_more_machines_lift_oom():
+    g = build_dataset("S9-Std").graph
+    gx = get_platform("GraphX")
+    cluster16 = ClusterSpec(machines=16, threads_per_machine=32)
+    gx.check_capacity("pr", g, cluster16)  # plenty of aggregate memory
+
+
+def test_stress_boundaries():
+    """The stress experiment's headline: GraphX and Ligra cap at S9.5."""
+    s10 = build_dataset("S10-Std").graph
+    tight = ClusterSpec(machines=16, threads_per_machine=32,
+                        memory_per_machine_bytes=16 * 1024 * 1024)
+    with pytest.raises(OutOfMemoryError):
+        get_platform("GraphX").check_capacity("pr", s10, tight)
+    get_platform("Grape").check_capacity("pr", s10, tight)
+    ligra_box = ClusterSpec(machines=1, threads_per_machine=32,
+                            memory_per_machine_bytes=16 * 1024 * 1024)
+    with pytest.raises(OutOfMemoryError):
+        get_platform("Ligra").check_capacity("pr", s10, ligra_box)

@@ -1,0 +1,119 @@
+"""Cost-shape tests: the paper's headline performance orderings must
+emerge from the priced traces."""
+
+import pytest
+
+from repro.cluster import price_trace, scale_out, single_machine
+from repro.datagen import build_dataset
+from repro.platforms import get_platform
+
+
+@pytest.fixture(scope="module")
+def s8():
+    return {
+        name: build_dataset(name).graph
+        for name in ("S8-Std", "S8-Dense", "S8-Diam")
+    }
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return single_machine(32)
+
+
+def _seconds(platform_name, algorithm, graph, cluster):
+    return get_platform(platform_name).run(
+        algorithm, graph, cluster
+    ).priced.seconds
+
+
+class TestAlgorithmImpact:
+    def test_pr_insensitive_to_diameter(self, s8, cluster):
+        for name in ("Flash", "Grape", "Ligra"):
+            t_std = _seconds(name, "pr", s8["S8-Std"], cluster)
+            t_diam = _seconds(name, "pr", s8["S8-Diam"], cluster)
+            assert t_diam == pytest.approx(t_std, rel=0.5)
+
+    def test_pr_faster_on_dense(self, s8, cluster):
+        for name in ("Flash", "Pregel+", "Ligra"):
+            assert _seconds(name, "pr", s8["S8-Dense"], cluster) < \
+                _seconds(name, "pr", s8["S8-Std"], cluster)
+
+    def test_sequential_slower_on_diam(self, s8, cluster):
+        for name in ("Pregel+", "Ligra"):
+            assert _seconds(name, "wcc", s8["S8-Diam"], cluster) > \
+                _seconds(name, "wcc", s8["S8-Std"], cluster)
+
+    def test_grape_diameter_insensitive_sssp(self, s8, cluster):
+        t_std = _seconds("Grape", "sssp", s8["S8-Std"], cluster)
+        t_diam = _seconds("Grape", "sssp", s8["S8-Diam"], cluster)
+        assert t_diam < 2.0 * t_std
+
+    def test_tc_slower_on_dense(self, s8, cluster):
+        for name in ("Flash", "Grape", "G-thinker", "Ligra"):
+            assert _seconds(name, "tc", s8["S8-Dense"], cluster) > \
+                _seconds(name, "tc", s8["S8-Std"], cluster)
+
+    def test_kc_slower_on_dense_and_diam(self, s8, cluster):
+        for name in ("Grape", "G-thinker"):
+            t_std = _seconds(name, "kc", s8["S8-Std"], cluster)
+            assert _seconds(name, "kc", s8["S8-Dense"], cluster) > t_std
+            assert _seconds(name, "kc", s8["S8-Diam"], cluster) > t_std
+
+    def test_graphx_slowest_on_pr(self, s8, cluster):
+        t_gx = _seconds("GraphX", "pr", s8["S8-Std"], cluster)
+        for name in ("PowerGraph", "Flash", "Grape", "Pregel+", "Ligra"):
+            assert t_gx > _seconds(name, "pr", s8["S8-Std"], cluster)
+
+    def test_subset_platforms_win_cd(self, s8, cluster):
+        """Flash/Ligra maintain active subsets; PowerGraph re-activates
+        everything per coreness level (Section 8.2)."""
+        t_pg = _seconds("PowerGraph", "cd", s8["S8-Std"], cluster)
+        assert _seconds("Flash", "cd", s8["S8-Std"], cluster) < t_pg / 3
+        assert _seconds("Ligra", "cd", s8["S8-Std"], cluster) < t_pg / 3
+
+
+class TestScaling:
+    def test_thread_scaling_order(self, s8):
+        """Grape/Pregel+/Ligra scale threads best; GraphX worst."""
+        graph = s8["S8-Std"]
+        speedups = {}
+        for name in ("GraphX", "PowerGraph", "Flash", "Grape",
+                     "Pregel+", "Ligra"):
+            platform = get_platform(name)
+            result = platform.run("pr", graph, single_machine(32))
+            lo = max(platform.profile.min_threads.get("pr", 1), 1)
+            t_lo = price_trace(result.trace, single_machine(lo),
+                               platform.profile.cost).seconds
+            t_hi = price_trace(result.trace, single_machine(32),
+                               platform.profile.cost).seconds
+            speedups[name] = t_lo / t_hi
+        assert speedups["Grape"] > 15
+        assert speedups["Pregel+"] > 15
+        assert speedups["Ligra"] > 15
+        assert speedups["GraphX"] < speedups["PowerGraph"] \
+            < speedups["Flash"] < speedups["Grape"]
+
+    def test_scale_out_worse_than_scale_up(self):
+        """Every platform's machine scaling lags its thread scaling."""
+        graph = build_dataset("S9-Std").graph
+        for name in ("PowerGraph", "Flash", "Grape", "Pregel+"):
+            platform = get_platform(name)
+            result = platform.run("pr", graph, single_machine(32))
+            cost = platform.profile.cost
+            up = (price_trace(result.trace, single_machine(1), cost).seconds
+                  / price_trace(result.trace, single_machine(32),
+                                cost).seconds)
+            out = (price_trace(result.trace, scale_out(1), cost).seconds
+                   / price_trace(result.trace, scale_out(16), cost).seconds)
+            assert out < up
+
+    def test_flash_scale_out_flat(self):
+        """Table 11: Flash gains nothing from more machines on PR."""
+        graph = build_dataset("S9-Std").graph
+        platform = get_platform("Flash")
+        result = platform.run("pr", graph, single_machine(32))
+        cost = platform.profile.cost
+        times = [price_trace(result.trace, scale_out(m), cost).seconds
+                 for m in (1, 2, 4, 8, 16)]
+        assert times[0] / min(times) < 1.5

@@ -1,0 +1,102 @@
+"""Tests for the platform registry, profiles, and coverage matrix."""
+
+import pytest
+
+from repro.errors import PlatformError, UnsupportedAlgorithmError
+from repro.platforms import (
+    CORE_ALGORITHMS,
+    PROFILES,
+    all_platforms,
+    coverage_matrix,
+    get_platform,
+    get_profile,
+    platform_names,
+)
+
+
+def test_seven_platforms():
+    assert len(platform_names()) == 7
+    assert platform_names()[0] == "GraphX"
+
+
+def test_table6_models():
+    assert get_profile("GraphX").model == "vertex-centric"
+    assert get_profile("PowerGraph").model == "edge-centric"
+    assert get_profile("Grape").model == "block-centric"
+    assert get_profile("G-thinker").model == "subgraph-centric"
+    assert get_profile("Ligra").single_machine_only
+
+
+def test_abbreviation_lookup():
+    assert get_profile("PP").name == "Pregel+"
+    assert get_profile("GT").name == "G-thinker"
+
+
+def test_unknown_platform_rejected():
+    with pytest.raises(PlatformError):
+        get_profile("Spark")
+
+
+def test_coverage_matrix_is_49_of_56():
+    """The paper's Section 8.2: 49 of the 56 cases are implementable."""
+    matrix = coverage_matrix()
+    supported = sum(v for row in matrix.values() for v in row.values())
+    assert supported == 49
+
+
+def test_pregel_plus_lacks_cd():
+    assert not get_platform("Pregel+").supports("cd")
+    with pytest.raises(UnsupportedAlgorithmError):
+        from repro.core import path_graph
+        from repro.cluster import single_machine
+        get_platform("Pregel+").run("cd", path_graph(5), single_machine())
+
+
+def test_gthinker_only_subgraph_algorithms():
+    gt = get_platform("G-thinker")
+    assert set(gt.algorithms()) == {"tc", "kc"}
+    for algorithm in ("pr", "lpa", "sssp", "wcc", "bc", "cd"):
+        assert not gt.supports(algorithm)
+
+
+def test_ligra_rejects_multiple_machines():
+    from repro.cluster import scale_out
+    from repro.core import path_graph
+    with pytest.raises(PlatformError):
+        get_platform("Ligra").run("pr", path_graph(10), scale_out(2))
+
+
+def test_graphx_minimum_threads():
+    from repro.cluster import single_machine
+    from repro.core import path_graph
+    gx = get_platform("GraphX")
+    with pytest.raises(PlatformError):
+        gx.run("pr", path_graph(10), single_machine(2))
+    # SSSP needs only 2 threads
+    gx.run("sssp", path_graph(10), single_machine(2))
+
+
+def test_feature_flags_match_paper():
+    assert get_profile("Flash").push_pull
+    assert get_profile("Flash").vertex_subset
+    assert get_profile("Flash").global_messaging
+    assert get_profile("Ligra").push_pull
+    assert get_profile("Pregel+").combiner
+    assert get_profile("Pregel+").global_messaging
+    assert not get_profile("GraphX").vertex_subset
+    assert not get_profile("PowerGraph").global_messaging
+
+
+def test_platform_instances_cached():
+    assert get_platform("Grape") is get_platform("Grape")
+
+
+def test_memory_model_positive():
+    for profile in PROFILES.values():
+        assert profile.memory_bytes(1000, 5000) > 0
+
+
+def test_profiles_cover_core_algorithm_set():
+    for platform in all_platforms():
+        for algorithm in platform.algorithms():
+            assert algorithm in CORE_ALGORITHMS

@@ -1,0 +1,91 @@
+"""Failure-injection and robustness tests: errors surface cleanly and
+leave no corrupted shared state behind."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import NUM_PARTS, TraceRecorder, single_machine
+from repro.core import path_graph, random_graph
+from repro.core.partition import hash_partition
+from repro.errors import ClusterConfigError
+from repro.platforms import get_platform, get_profile
+from repro.platforms.vertex_centric.engine import (
+    VertexCentricEngine,
+    VertexProgram,
+)
+
+
+class _ExplodingProgram(VertexProgram):
+    """Raises mid-superstep after poisoning some messages."""
+
+    def compute(self, v, messages, ctx):
+        if ctx.superstep == 0:
+            ctx.send_to_neighbors(v, 1)
+        if v == 3:
+            raise RuntimeError("injected failure")
+
+
+def test_engine_failure_propagates():
+    g = path_graph(10)
+    recorder = TraceRecorder(NUM_PARTS)
+    engine = VertexCentricEngine(
+        g, hash_partition(g, NUM_PARTS), recorder, get_profile("Flash")
+    )
+    with pytest.raises(RuntimeError, match="injected failure"):
+        engine.run(_ExplodingProgram())
+
+
+def test_platform_usable_after_algorithm_failure():
+    """A failed run must not poison the cached platform instance."""
+    g = random_graph(60, 200, seed=1)
+    platform = get_platform("Flash")
+    with pytest.raises(Exception):
+        platform.run("kc", g, single_machine(), k=1)  # invalid k
+    # Subsequent runs on the same (cached) platform work normally.
+    result = platform.run("pr", g, single_machine())
+    assert np.isclose(result.values.sum(), 1.0)
+
+
+def test_recorder_rejects_interleaved_runs():
+    """A recorder left mid-superstep refuses further misuse loudly."""
+    recorder = TraceRecorder(4)
+    recorder.begin_superstep()
+    with pytest.raises(ClusterConfigError):
+        recorder.begin_superstep()
+
+
+def test_run_results_are_independent():
+    """Two runs of the same case return independent traces/value arrays."""
+    g = random_graph(50, 150, seed=2)
+    platform = get_platform("Ligra")
+    a = platform.run("pr", g, single_machine())
+    b = platform.run("pr", g, single_machine())
+    assert a.trace is not b.trace
+    a.values[0] = 123.0
+    assert b.values[0] != 123.0
+
+
+def test_empty_graph_runs_everywhere():
+    from repro.core import Graph
+    g = Graph.from_edges([], [], num_vertices=5)
+    for name in ("Flash", "Grape", "PowerGraph"):
+        platform = get_platform(name)
+        result = platform.run("wcc", g, single_machine())
+        assert np.array_equal(result.values, np.arange(5))
+
+
+def test_single_vertex_graph():
+    from repro.core import Graph
+    g = Graph.from_edges([], [], num_vertices=1)
+    result = get_platform("Pregel+").run("pr", g, single_machine())
+    assert np.isclose(result.values.sum(), 1.0)
+
+
+def test_disconnected_graph_sssp():
+    from repro.core import Graph
+    g = Graph.from_edges([0, 2], [1, 3], num_vertices=5)
+    for name in ("Flash", "Grape", "PowerGraph"):
+        result = get_platform(name).run("sssp", g, single_machine())
+        assert result.values[1] == 1.0
+        assert np.isinf(result.values[2])
+        assert np.isinf(result.values[4])

@@ -1,0 +1,37 @@
+"""Smoke tests: the example scripts run end to end.
+
+Only the fast examples run here; the heavier ones
+(platform_comparison, api_usability_report) are exercised through the
+bench suite's equivalent experiments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "road_network_routing.py",
+     "dynamic_social_network.py", "generator_showdown.py"],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_have_docstrings_and_main():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.startswith('"""'), script.name
+        assert '__main__' in text, script.name

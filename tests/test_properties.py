@@ -1,0 +1,197 @@
+"""Property-based tests (hypothesis) on core data structures, generators,
+and algorithm invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.reference import (
+    bellman_ford,
+    core_decomposition,
+    dijkstra,
+    k_clique_count,
+    pagerank,
+    triangle_count,
+    wcc,
+    wcc_union_find,
+)
+from repro.core import (
+    Graph,
+    bfs_levels,
+    connected_components,
+    jensen_shannon_divergence,
+    spearman_rho,
+)
+from repro.core.partition import hash_partition, range_partition
+from repro.datagen import generate_fft, generate_ldbc
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=40, max_m=120):
+    """Random simple undirected graphs."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Graph.from_edges(src, dst, num_vertices=n)
+
+
+class TestGraphInvariants:
+    @_settings
+    @given(graphs())
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.out_degrees().sum()) == 2 * g.num_edges
+
+    @_settings
+    @given(graphs())
+    def test_edge_arrays_roundtrip(self, g):
+        src, dst, _ = g.edge_arrays()
+        g2 = Graph.from_edges(src, dst, num_vertices=g.num_vertices)
+        assert g == g2
+
+    @_settings
+    @given(graphs())
+    def test_neighbors_symmetric(self, g):
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    @_settings
+    @given(graphs())
+    def test_subgraph_edge_subset(self, g):
+        half = np.arange(0, g.num_vertices, 2)
+        sub = g.subgraph(half)
+        assert sub.num_edges <= g.num_edges
+        assert sub.num_vertices == half.size
+
+
+class TestTraversalInvariants:
+    @_settings
+    @given(graphs())
+    def test_bfs_neighbor_levels_differ_by_one(self, g):
+        levels = bfs_levels(g, 0)
+        for u, v in g.edges():
+            if levels[u] >= 0 and levels[v] >= 0:
+                assert abs(levels[u] - levels[v]) <= 1
+
+    @_settings
+    @given(graphs())
+    def test_wcc_implementations_agree(self, g):
+        assert np.array_equal(wcc(g), wcc_union_find(g))
+
+    @_settings
+    @given(graphs())
+    def test_wcc_labels_are_component_minima(self, g):
+        labels = connected_components(g)
+        for v in range(g.num_vertices):
+            members = np.nonzero(labels == labels[v])[0]
+            assert labels[v] == members.min()
+
+    @_settings
+    @given(graphs())
+    def test_bfs_reachability_matches_components(self, g):
+        levels = bfs_levels(g, 0)
+        labels = connected_components(g)
+        reachable = levels >= 0
+        same_comp = labels == labels[0]
+        assert np.array_equal(reachable, same_comp)
+
+
+class TestAlgorithmInvariants:
+    @_settings
+    @given(graphs())
+    def test_pagerank_is_distribution(self, g):
+        ranks = pagerank(g)
+        assert ranks.sum() == pytest_approx(1.0)
+        assert np.all(ranks >= 0)
+
+    @_settings
+    @given(graphs())
+    def test_sssp_oracles_agree(self, g):
+        assert np.allclose(
+            dijkstra(g, 0), bellman_ford(g, 0), equal_nan=True
+        )
+
+    @_settings
+    @given(graphs())
+    def test_coreness_bounded_by_degree(self, g):
+        coreness = core_decomposition(g)
+        assert np.all(coreness <= g.out_degrees())
+
+    @_settings
+    @given(graphs())
+    def test_kc3_equals_triangles(self, g):
+        assert k_clique_count(g, 3) == triangle_count(g)
+
+    @_settings
+    @given(graphs(max_n=20, max_m=60))
+    def test_kc4_bounded_by_kc3_choose(self, g):
+        # every 4-clique contains 4 triangles
+        assert 4 * k_clique_count(g, 4) <= \
+            max(1, k_clique_count(g, 3)) * 4 * max(1, triangle_count(g))
+
+
+class TestGeneratorInvariants:
+    @_settings
+    @given(st.integers(8, 200), st.integers(0, 2 ** 20))
+    def test_fft_trials_accounting(self, n, seed):
+        result = generate_fft(n, seed=seed, connect_path=False,
+                              use_homophily_order=False)
+        counter = result.counter
+        assert counter.edges == counter.trials - counter.failures
+        assert counter.failures <= n  # one terminator per source at most
+
+    @_settings
+    @given(st.integers(8, 150), st.integers(0, 2 ** 20))
+    def test_fft_connected_with_path(self, n, seed):
+        g = generate_fft(n, seed=seed).graph
+        assert np.unique(connected_components(g)).size == 1
+
+    @_settings
+    @given(st.integers(8, 120), st.integers(0, 2 ** 20))
+    def test_ldbc_trials_at_least_edges(self, n, seed):
+        result = generate_ldbc(n, seed=seed)
+        assert result.counter.trials >= result.counter.edges
+        assert result.graph.num_edges <= result.counter.edges
+
+
+class TestPartitionInvariants:
+    @_settings
+    @given(graphs(), st.integers(1, 8))
+    def test_partitions_cover_everything(self, g, parts):
+        for partition in (hash_partition(g, parts), range_partition(g, parts)):
+            assert partition.owner.shape[0] == g.num_vertices
+            assert partition.sizes().sum() == g.num_vertices
+
+
+class TestStatisticsInvariants:
+    @_settings
+    @given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=12),
+           st.lists(st.floats(0.01, 100.0), min_size=2, max_size=12))
+    def test_js_divergence_bounds(self, p, q):
+        size = min(len(p), len(q))
+        a = np.asarray(p[:size])
+        b = np.asarray(q[:size])
+        d = jensen_shannon_divergence(a, b)
+        assert -1e-9 <= d <= 1.0 + 1e-9
+        assert d == pytest_approx(jensen_shannon_divergence(b, a))
+
+    @_settings
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=15,
+                    unique=True))
+    def test_spearman_bounds_and_self(self, xs):
+        x = np.asarray(xs)
+        rho = spearman_rho(x, x)
+        assert rho == pytest_approx(1.0)
+        shuffled = x[::-1].copy()
+        assert -1.0 - 1e-9 <= spearman_rho(x, shuffled) <= 1.0 + 1e-9
+
+
+def pytest_approx(value, rel=1e-6, abs_=1e-9):
+    import pytest
+    return pytest.approx(value, rel=rel, abs=abs_)

@@ -1,0 +1,55 @@
+"""Edge-case tests for the code evaluator's metric functions."""
+
+import pytest
+
+from repro.usability import CodeEvaluator, get_api_spec, reference_code
+
+
+@pytest.fixture
+def evaluator():
+    return CodeEvaluator(get_api_spec("Ligra"))
+
+
+def test_empty_code_scores_zero_readability(evaluator):
+    scores = evaluator.evaluate("pr", "")
+    assert scores.readability == 0.0
+    assert scores.compliance < 50.0
+
+
+def test_correctness_floor_is_zero(evaluator):
+    code = "doFoo(); barFn(); bazAll(); quxMap(); " \
+           "for (int v = 0; v < n; ++v) { /* generic per-vertex loop */ }"
+    scores = evaluator.evaluate("pr", code)
+    assert scores.correctness >= 0.0
+
+
+def test_missing_loop_penalized(evaluator):
+    reference = reference_code(get_api_spec("Ligra"), "pr")
+    no_loop = reference.replace("while", "when")
+    assert evaluator.evaluate("pr", no_loop).correctness < \
+        evaluator.evaluate("pr", reference).correctness
+
+
+def test_identifier_gibberish_hurts(evaluator):
+    reference = reference_code(get_api_spec("Ligra"), "pr")
+    renamed = reference.replace("frontier", "tmp1x").replace(
+        "result", "tmp2x"
+    )
+    assert evaluator.evaluate("pr", renamed).readability < \
+        evaluator.evaluate("pr", reference).readability
+
+
+def test_extra_bloat_hurts_structure_score(evaluator):
+    reference = reference_code(get_api_spec("Ligra"), "pr")
+    bloated = reference + "\n" + "\n".join(
+        f"int helper{i} = {i};" for i in range(40)
+    )
+    assert evaluator.evaluate("pr", bloated).readability < \
+        evaluator.evaluate("pr", reference).readability
+
+
+def test_scores_bounded(evaluator):
+    for code in ("", "x", reference_code(get_api_spec("Ligra"), "tc")):
+        scores = evaluator.evaluate("tc", code)
+        for value in scores.as_dict().values():
+            assert 0.0 <= value <= 100.0

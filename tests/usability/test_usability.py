@@ -1,0 +1,298 @@
+"""Tests for the multi-level usability evaluation framework."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UsabilityError
+from repro.usability import (
+    API_SPECS,
+    CodeEvaluator,
+    PromptLevel,
+    ScoreWeights,
+    TASK_DESCRIPTIONS,
+    build_prompt,
+    evaluate_usability,
+    get_api_spec,
+    instruction_tune,
+    knowledge_fraction,
+    reference_code,
+    validate_against_humans,
+)
+from repro.usability.human import HUMAN_SCORES, PAPER_SPEARMAN
+
+
+class TestApiSpecs:
+    def test_seven_platforms(self):
+        assert len(API_SPECS) == 7
+
+    def test_lowest_level_apis_present(self):
+        """Section 5.2: the evaluation uses the platforms' fundamental
+        APIs, e.g. compute()/reducer() and gather/apply/scatter."""
+        assert "compute" in get_api_spec("Pregel+").function_names()
+        assert "reducer" in get_api_spec("Pregel+").function_names()
+        pg = get_api_spec("PowerGraph").function_names()
+        assert {"gather", "apply", "scatter"} <= set(pg)
+        assert "vertexMap" in get_api_spec("Ligra").function_names()
+        assert {"PEval", "IncEval"} <= set(get_api_spec("Grape").function_names())
+
+    def test_anonymization_masks_names(self):
+        spec = get_api_spec("PowerGraph").anonymized()
+        assert spec.platform == "platform_x"
+        assert all(f.name.startswith("api_fn_") for f in spec.functions)
+
+    def test_difficulties_in_range(self):
+        for spec in API_SPECS.values():
+            assert 0.0 <= spec.expert_difficulty <= spec.novice_difficulty <= 1.0
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(UsabilityError):
+            get_api_spec("Neo4j")
+
+
+class TestPrompts:
+    def test_knowledge_fraction_monotone(self):
+        fractions = [knowledge_fraction(level) for level in PromptLevel]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_junior_prompt_has_no_api_details(self):
+        spec = get_api_spec("Flash")
+        prompt = build_prompt(spec, "pr", PromptLevel.JUNIOR)
+        assert "api_fn_0" not in prompt
+
+    def test_intermediate_adds_api_names(self):
+        spec = get_api_spec("Flash")
+        prompt = build_prompt(spec, "pr", PromptLevel.INTERMEDIATE)
+        assert "api_fn_0" in prompt
+
+    def test_senior_adds_docs(self):
+        spec = get_api_spec("Flash")
+        prompt = build_prompt(spec, "pr", PromptLevel.SENIOR)
+        assert "API reference" in prompt
+
+    def test_expert_adds_pseudocode(self):
+        spec = get_api_spec("Flash")
+        prompt = build_prompt(spec, "pr", PromptLevel.EXPERT)
+        assert "pseudo-code" in prompt
+
+    def test_anonymization_applies_by_default(self):
+        spec = get_api_spec("Ligra")
+        prompt = build_prompt(spec, "tc", PromptLevel.SENIOR)
+        assert "edgeMap" not in prompt
+
+    def test_eight_tasks(self):
+        assert len(TASK_DESCRIPTIONS) == 8
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(UsabilityError):
+            build_prompt(get_api_spec("Flash"), "nope", PromptLevel.JUNIOR)
+
+
+class TestReferenceCode:
+    def test_uses_platform_apis(self):
+        for platform, spec in API_SPECS.items():
+            code = reference_code(spec, "pr")
+            used = [n for n in spec.function_names() if n in code]
+            assert len(used) >= 3, platform
+
+    def test_contains_comments(self):
+        code = reference_code(get_api_spec("Grape"), "wcc")
+        assert code.count("//") >= 3
+
+    def test_distinct_per_algorithm(self):
+        spec = get_api_spec("Flash")
+        assert reference_code(spec, "pr") != reference_code(spec, "tc")
+
+
+class TestGenerator:
+    def test_expert_errs_less_than_junior(self):
+        generator = instruction_tune("Grape")
+        assert generator.error_rate(PromptLevel.EXPERT) < \
+            generator.error_rate(PromptLevel.JUNIOR)
+
+    def test_deterministic(self):
+        generator = instruction_tune("Flash")
+        a = generator.generate("pr", PromptLevel.JUNIOR, seed=1)
+        b = generator.generate("pr", PromptLevel.JUNIOR, seed=1)
+        assert a.code == b.code
+
+    def test_seed_varies_output(self):
+        generator = instruction_tune("Grape")
+        codes = {
+            generator.generate("pr", PromptLevel.JUNIOR, seed=s).code
+            for s in range(6)
+        }
+        assert len(codes) > 1
+
+    def test_junior_produces_defects(self):
+        generator = instruction_tune("Grape")
+        total = sum(
+            sum(generator.generate("pr", PromptLevel.JUNIOR, seed=s)
+                .defects.values())
+            for s in range(8)
+        )
+        assert total > 0
+
+    def test_tuning_reduces_errors(self):
+        untuned = instruction_tune("Flash", tuning_rounds=1)
+        tuned = instruction_tune("Flash", tuning_rounds=5)
+        assert tuned.error_rate(PromptLevel.JUNIOR) < \
+            untuned.error_rate(PromptLevel.JUNIOR)
+
+
+class TestEvaluator:
+    def test_reference_code_scores_high(self):
+        for platform, spec in API_SPECS.items():
+            evaluator = CodeEvaluator(spec)
+            scores = evaluator.evaluate("pr", reference_code(spec, "pr"))
+            assert scores.compliance > 95, platform
+            assert scores.correctness > 95, platform
+            assert scores.readability > 95, platform
+
+    def test_hallucination_penalized(self):
+        spec = get_api_spec("PowerGraph")
+        evaluator = CodeEvaluator(spec)
+        code = reference_code(spec, "pr").replace("gather", "doGather")
+        scores = evaluator.evaluate("pr", code)
+        assert scores.correctness < 95
+        assert scores.compliance < 95
+
+    def test_generic_fallback_penalized(self):
+        spec = get_api_spec("Ligra")
+        evaluator = CodeEvaluator(spec)
+        code = "for (int v = 0; v < n; ++v) { /* generic per-vertex loop */ }"
+        scores = evaluator.evaluate("pr", code)
+        assert scores.correctness < 70
+        assert scores.compliance < 50
+
+    def test_stripped_comments_hurt_readability(self):
+        spec = get_api_spec("Flash")
+        evaluator = CodeEvaluator(spec)
+        reference = reference_code(spec, "pr")
+        stripped = "\n".join(
+            line for line in reference.split("\n")
+            if not line.strip().startswith("//")
+        )
+        assert evaluator.evaluate("pr", stripped).readability < \
+            evaluator.evaluate("pr", reference).readability
+
+
+class TestScoring:
+    def test_weights_are_35_35_30(self):
+        w = ScoreWeights()
+        assert (w.compliance, w.correctness, w.readability) == \
+            (0.35, 0.35, 0.30)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(UsabilityError):
+            ScoreWeights(compliance=0.5, correctness=0.5, readability=0.5)
+
+    def test_scores_increase_with_level(self):
+        for platform in ("GraphX", "Grape"):
+            scores = [
+                evaluate_usability(platform, level, repetitions=3).overall
+                for level in PromptLevel
+            ]
+            assert scores == sorted(scores), platform
+
+    def test_graphx_beats_grape_everywhere(self):
+        """Fig. 13: GraphX is the most usable, Grape the least."""
+        for level in (PromptLevel.JUNIOR, PromptLevel.SENIOR):
+            gx = evaluate_usability("GraphX", level, repetitions=3).overall
+            gr = evaluate_usability("Grape", level, repetitions=3).overall
+            assert gx > gr
+
+    def test_rejects_bad_repetitions(self):
+        with pytest.raises(UsabilityError):
+            evaluate_usability("Flash", PromptLevel.JUNIOR, repetitions=0)
+
+
+class TestHumanValidation:
+    def test_spearman_positive_and_strong(self):
+        scores = {
+            name: evaluate_usability(name, PromptLevel.INTERMEDIATE,
+                                     repetitions=8).overall
+            for name in API_SPECS
+        }
+        result = validate_against_humans(scores, PromptLevel.INTERMEDIATE)
+        assert result.rho >= 0.6  # paper: 0.75; measured: 0.75
+
+    def test_paper_llm_vs_human_reproduces_published_rho(self):
+        """Sanity: our Spearman on the paper's own published numbers
+        reproduces the paper's reported correlations.
+
+        The paper breaks the Pregel+/Ligra human-score tie (both 72.0 at
+        Senior) by listing order; we use standard average ranks, which
+        shifts the Senior rho from 0.714 to 0.775 — hence the tolerance.
+        """
+        from repro.usability import PAPER_LLM_SCORES
+        for level, expected in PAPER_SPEARMAN.items():
+            result = validate_against_humans(PAPER_LLM_SCORES[level], level)
+            assert result.rho == pytest.approx(expected, abs=0.07)
+
+    def test_rankings_reported(self):
+        result = validate_against_humans(
+            HUMAN_SCORES[PromptLevel.SENIOR], PromptLevel.SENIOR
+        )
+        assert result.human_ranking[0] == "GraphX"
+        assert result.human_ranking[-1] == "Grape"
+
+    def test_rejects_junior_level(self):
+        with pytest.raises(UsabilityError):
+            validate_against_humans({}, PromptLevel.JUNIOR)
+
+    def test_rejects_missing_platform(self):
+        with pytest.raises(UsabilityError):
+            validate_against_humans({"GraphX": 80.0},
+                                    PromptLevel.INTERMEDIATE)
+
+
+class TestPerAlgorithmBreakdown:
+    def test_advanced_algorithms_score_lower(self):
+        from repro.usability import usability_by_algorithm
+        row = usability_by_algorithm("Flash", PromptLevel.INTERMEDIATE,
+                                     repetitions=6)
+        assert set(row) == set(TASK_DESCRIPTIONS)
+        simple = (row["pr"] + row["wcc"]) / 2
+        advanced = (row["bc"] + row["cd"] + row["kc"]) / 3
+        assert advanced < simple
+
+    def test_task_difficulty_mean_near_one(self):
+        import numpy as np
+        from repro.usability.generator import TASK_DIFFICULTY
+        assert np.mean(list(TASK_DIFFICULTY.values())) == pytest.approx(
+            1.0, abs=0.02
+        )
+
+
+class TestUsabilityTable:
+    def test_full_grid_shape(self):
+        from repro.usability import usability_table
+        grid = usability_table(platforms=("GraphX", "Grape"),
+                               levels=(PromptLevel.JUNIOR,
+                                       PromptLevel.EXPERT),
+                               repetitions=2)
+        assert set(grid) == {PromptLevel.JUNIOR, PromptLevel.EXPERT}
+        assert set(grid[PromptLevel.JUNIOR]) == {"GraphX", "Grape"}
+
+    def test_custom_weights_change_overall(self):
+        from repro.usability import ScoreWeights, evaluate_usability
+        readable_heavy = ScoreWeights(compliance=0.1, correctness=0.1,
+                                      readability=0.8)
+        default = evaluate_usability("Flash", PromptLevel.SENIOR,
+                                     repetitions=3)
+        custom = evaluate_usability("Flash", PromptLevel.SENIOR,
+                                    repetitions=3, weights=readable_heavy)
+        # per-metric scores identical; aggregation differs
+        assert custom.compliance == pytest.approx(default.compliance)
+        assert custom.overall != pytest.approx(default.overall)
+
+    def test_generated_prompt_carried_on_sample(self):
+        from repro.usability import instruction_tune
+        sample = instruction_tune("Ligra").generate(
+            "tc", PromptLevel.SENIOR, seed=0
+        )
+        assert "API reference" in sample.prompt
+        assert sample.platform == "Ligra"
+        assert sample.level is PromptLevel.SENIOR

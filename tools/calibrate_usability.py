@@ -1,0 +1,72 @@
+"""Calibrate per-platform learnability traits against the paper.
+
+The simulated LLM's error model has two free parameters per platform
+(novice and expert difficulty).  This tool bisects the *measured*
+pipeline score as a function of the error rate to find the rates that
+reproduce the paper's published LLM scores at the Intermediate and
+Senior levels (Table 12), then inverts the knowledge-interpolation to
+recover (novice, expert) difficulties for ``repro/usability/apis.py``.
+
+Run after changing the generator or evaluator:
+
+    python tools/calibrate_usability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.usability.apis import API_SPECS, get_api_spec
+from repro.usability.evaluator import CodeEvaluator
+from repro.usability.generator import CodeGenerator
+from repro.usability.prompts import PromptLevel, TASK_DESCRIPTIONS
+from repro.usability.human import PAPER_LLM_SCORES
+from repro.usability.scoring import ScoreWeights
+
+TUNING_DISCOUNT = 0.9 ** 2  # must match CodeGenerator(tuning_rounds=3)
+
+
+def score_at_rate(platform: str, rate: float, *, repetitions: int = 8) -> float:
+    """Measured overall score when the generator errs at ``rate``."""
+    spec = get_api_spec(platform)
+    generator = CodeGenerator(spec)
+    generator.error_rate = lambda level, _r=rate: _r  # type: ignore[assignment]
+    evaluator = CodeEvaluator(spec)
+    weights = ScoreWeights()
+    scores = []
+    for algorithm in TASK_DESCRIPTIONS:
+        for rep in range(repetitions):
+            sample = generator.generate(algorithm, PromptLevel.SENIOR, seed=rep)
+            scores.append(weights.combine(evaluator.evaluate(algorithm, sample.code)))
+    return float(np.mean(scores))
+
+
+def rate_for_target(platform: str, target: float) -> float:
+    """Bisect the (monotone decreasing) score-vs-rate curve."""
+    lo, hi = 0.0, 0.9
+    for _ in range(22):
+        mid = (lo + hi) / 2
+        if score_at_rate(platform, mid) > target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def main() -> None:
+    print(f"{'platform':<12} {'nov':>6} {'exp':>6}   (check I/S)")
+    for platform in API_SPECS:
+        t_i = PAPER_LLM_SCORES[PromptLevel.INTERMEDIATE][platform]
+        t_s = PAPER_LLM_SCORES[PromptLevel.SENIOR][platform]
+        r_i = rate_for_target(platform, t_i)
+        r_s = rate_for_target(platform, t_s)
+        nov = (2 * r_i - r_s) / TUNING_DISCOUNT
+        exp = (2 * r_s - r_i) / TUNING_DISCOUNT
+        nov = min(1.0, max(0.0, nov))
+        exp = min(1.0, max(0.0, exp))
+        print(f"{platform:<12} {nov:6.3f} {exp:6.3f}   "
+              f"targets {t_i:.1f}/{t_s:.1f} rates {r_i:.3f}/{r_s:.3f}")
+
+
+if __name__ == "__main__":
+    main()
