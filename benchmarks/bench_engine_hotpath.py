@@ -1,0 +1,140 @@
+"""Engine hot-path microbenchmark: scalar vs bulk-frontier wall-clock.
+
+Times the vertex-centric engine's two execution paths on the same
+programs and graph, verifies their bit-identical parity while doing so,
+and records the speedups in ``benchmarks/out/BENCH_engine_hotpath.json``
+so the fast path's advantage is tracked release over release.
+
+Runs two ways:
+
+* under pytest (the benchmark suite): S8-scale catalog graph, asserts
+  the >= 3x PageRank speedup the fast path exists to deliver;
+* as a script — ``python benchmarks/bench_engine_hotpath.py [--small]``
+  — where ``--small`` is the CI smoke mode: a small random graph,
+  parity asserted, no speedup floor (CI machines are noisy).
+"""
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import NUM_PARTS, TraceRecorder
+from repro.core import random_graph
+from repro.core.partition import hash_partition
+from repro.datagen.catalog import build_dataset
+from repro.platforms.profile import get_profile
+from repro.platforms.vertex_centric.engine import VertexCentricEngine
+from repro.platforms.vertex_centric.programs import (
+    LabelPropagationProgram,
+    PageRankProgram,
+    SSSPProgram,
+    WCCHashMinProgram,
+)
+
+PROGRAMS = (
+    ("pr", lambda: PageRankProgram(iterations=10), "ranks"),
+    ("wcc", WCCHashMinProgram, "labels"),
+    ("sssp", SSSPProgram, "dist"),
+    ("lpa", lambda: LabelPropagationProgram(iterations=10), "labels"),
+)
+
+
+def _timed_run(graph, profile, factory, mode):
+    partition = hash_partition(graph, NUM_PARTS)
+    recorder = TraceRecorder(NUM_PARTS)
+    engine = VertexCentricEngine(
+        graph, partition, recorder, profile, mode=mode
+    )
+    program = factory()
+    start = time.perf_counter()
+    engine.run(program, max_supersteps=graph.num_vertices + 2)
+    elapsed = time.perf_counter() - start
+    return elapsed, recorder.trace, program
+
+
+def _traces_identical(a, b):
+    return a.supersteps == b.supersteps and all(
+        np.array_equal(sa.ops, sb.ops)
+        and np.array_equal(sa.msg_count, sb.msg_count)
+        and np.array_equal(sa.msg_bytes, sb.msg_bytes)
+        for sa, sb in zip(a.steps, b.steps)
+    )
+
+
+def run_hotpath(*, small: bool = False) -> dict:
+    """Time both paths per program; verify parity; persist the JSON."""
+    if small:
+        graph, graph_name = random_graph(200, 800, seed=11), "random-200"
+    else:
+        graph, graph_name = build_dataset("S8-Std").graph, "S8-Std"
+    profile = get_profile("Flash")
+
+    results: dict = {
+        "graph": graph_name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "profile": profile.name,
+        "programs": {},
+    }
+    for name, factory, state_attr in PROGRAMS:
+        t_scalar, trace_s, prog_s = _timed_run(graph, profile, factory, "scalar")
+        t_bulk, trace_b, prog_b = _timed_run(graph, profile, factory, "bulk")
+        if not np.array_equal(
+            getattr(prog_s, state_attr), getattr(prog_b, state_attr)
+        ):
+            raise AssertionError(f"{name}: scalar/bulk results diverge")
+        if not _traces_identical(trace_s, trace_b):
+            raise AssertionError(f"{name}: scalar/bulk WorkTraces diverge")
+        results["programs"][name] = {
+            "scalar_seconds": t_scalar,
+            "bulk_seconds": t_bulk,
+            "speedup": t_scalar / t_bulk if t_bulk > 0 else float("inf"),
+            "supersteps": trace_s.supersteps,
+            "messages": trace_s.total_messages,
+        }
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_engine_hotpath.json"
+    path.write_text(json.dumps(results, indent=2), encoding="utf-8")
+
+    print(f"engine hot path on {graph_name} "
+          f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
+    for name, row in results["programs"].items():
+        print(f"  {name:5s} scalar {row['scalar_seconds']:.3f}s  "
+              f"bulk {row['bulk_seconds']:.3f}s  "
+              f"speedup {row['speedup']:.1f}x  "
+              f"({row['supersteps']} supersteps)")
+    print(f"wrote {path}")
+    return results
+
+
+def test_engine_hotpath(regen):
+    """The bulk path must beat the scalar path by >= 3x on PageRank at
+    S8 scale (parity is asserted inside the run)."""
+    results = regen(lambda: run_hotpath())
+    assert results["programs"]["pr"]["speedup"] >= 3.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true",
+        help="CI smoke mode: small graph, parity only, no speedup floor",
+    )
+    args = parser.parse_args()
+    results = run_hotpath(small=args.small)
+    if not args.small:
+        speedup = results["programs"]["pr"]["speedup"]
+        if speedup < 3.0:
+            raise SystemExit(
+                f"PageRank bulk speedup {speedup:.2f}x below the 3x floor"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -178,18 +178,44 @@ class TraceRecorder:
         self._bytes = np.zeros((self.parts, self.parts))
 
     def add_compute(self, part: int, ops: float) -> None:
-        """Charge compute operations to one part."""
+        """Charge compute operations to one part.
+
+        Raises :class:`~repro.errors.ClusterConfigError` for part ids
+        outside ``[0, parts)`` — a buggy partition map must surface, not
+        be silently wrapped into a valid part.
+        """
         self._require_open()
-        self._ops[part % self.parts] += ops
+        self._ops[self._check_part(part)] += ops
 
     def add_message(
         self, src_part: int, dst_part: int, payload_bytes: float, count: int = 1
     ) -> None:
         """Charge ``count`` messages totalling ``payload_bytes * count``."""
         self._require_open()
-        i, j = src_part % self.parts, dst_part % self.parts
+        i, j = self._check_part(src_part), self._check_part(dst_part)
         self._count[i, j] += count
         self._bytes[i, j] += payload_bytes * count
+
+    def add_message_block(
+        self, src_part: int, dst_part: int, total_bytes: float, count: int
+    ) -> None:
+        """Charge ``count`` messages totalling ``total_bytes`` overall.
+
+        The bulk-metering twin of :meth:`add_message` for senders whose
+        per-message payloads vary within one part pair: the caller sums
+        the bytes itself and charges them in one call.
+        """
+        self._require_open()
+        i, j = self._check_part(src_part), self._check_part(dst_part)
+        self._count[i, j] += count
+        self._bytes[i, j] += total_bytes
+
+    def _check_part(self, part: int) -> int:
+        if not 0 <= part < self.parts:
+            raise ClusterConfigError(
+                f"part id {part} out of range [0, {self.parts})"
+            )
+        return part
 
     def end_superstep(self) -> None:
         """Seal the open superstep into the trace."""

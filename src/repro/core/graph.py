@@ -14,6 +14,19 @@ The representation is a numpy-backed CSR adjacency:
 Directed graphs additionally build a reverse CSR lazily for in-neighbour
 queries.  Undirected graphs store each edge in both adjacency blocks but
 report the logical (undirected) edge count via :attr:`Graph.num_edges`.
+
+Self-loop storage invariant
+---------------------------
+A self-loop ``(v, v)`` occupies exactly **one** CSR slot, in directed and
+undirected graphs alike: :meth:`Graph.from_edges` mirrors only the
+non-loop edges of an undirected input, so ``edges()`` /
+:meth:`Graph.edge_arrays` yield each self-loop once, ``degree(v)`` counts
+it once, and :meth:`Graph.to_undirected` / :meth:`Graph.with_weights`
+round-trips preserve the edge count — the "self-loops counted once"
+contract of :attr:`Graph.num_edges`.  When wrapping pre-built arrays with
+:meth:`Graph.from_arrays` that contain self-loops, pass ``num_edges``
+explicitly (the ``slots // 2`` default assumes every stored slot is half
+of a mirrored pair).
 """
 
 from __future__ import annotations
@@ -188,9 +201,16 @@ class Graph:
             all_src, all_dst = src_arr, dst_arr
             all_w = w_arr
         else:
-            all_src = np.concatenate([src_arr, dst_arr])
-            all_dst = np.concatenate([dst_arr, src_arr])
-            all_w = None if w_arr is None else np.concatenate([w_arr, w_arr])
+            # Mirror only the non-loop edges: a self-loop must occupy a
+            # single CSR slot so degree(v), edge_arrays(), and round-trip
+            # constructors all count it once.
+            mirror = src_arr != dst_arr
+            all_src = np.concatenate([src_arr, dst_arr[mirror]])
+            all_dst = np.concatenate([dst_arr, src_arr[mirror]])
+            all_w = (
+                None if w_arr is None
+                else np.concatenate([w_arr, w_arr[mirror]])
+            )
 
         indptr, indices, slot_w = _build_csr(all_src, all_dst, all_w, num_vertices)
         return cls(indptr, indices, slot_w, directed, num_edges)
@@ -303,10 +323,20 @@ class Graph:
         return bool(np.any(block == v))
 
     def edge_weight(self, u: int, v: int) -> float:
-        """Weight of edge ``u -> v``; raises if absent or unweighted."""
+        """Weight of edge ``u -> v``; raises if absent or unweighted.
+
+        Uses binary search when the adjacency blocks are sorted (always
+        true post-:func:`_build_csr`), mirroring :meth:`has_edge`; falls
+        back to a linear scan for unsorted hand-built arrays.
+        """
         if self.weights is None:
             raise GraphStructureError("graph is unweighted")
         block = self.neighbors(u)
+        if self._adjacency_sorted():
+            pos = int(np.searchsorted(block, v))
+            if pos >= block.shape[0] or block[pos] != v:
+                raise GraphStructureError(f"edge ({u}, {v}) not present")
+            return float(self.neighbor_weights(u)[pos])
         hits = np.nonzero(block == v)[0]
         if hits.size == 0:
             raise GraphStructureError(f"edge ({u}, {v}) not present")
@@ -345,7 +375,8 @@ class Graph:
             return self
         src, dst, w = self.edge_arrays()
         return Graph.from_edges(
-            src, dst, weights=w, num_vertices=self.num_vertices, directed=False
+            src, dst, weights=w, num_vertices=self.num_vertices,
+            directed=False, drop_self_loops=False,
         )
 
     def with_weights(self, weights_per_edge: np.ndarray) -> "Graph":
@@ -361,6 +392,7 @@ class Graph:
             weights=weights_per_edge,
             num_vertices=self.num_vertices,
             directed=self.directed,
+            drop_self_loops=False,
         )
 
     def subgraph(self, vertices: Iterable[int]) -> "Graph":
@@ -379,6 +411,7 @@ class Graph:
             weights=None if w is None else w[keep],
             num_vertices=int(vert.size),
             directed=self.directed,
+            drop_self_loops=False,
         )
 
     def memory_bytes(self) -> int:

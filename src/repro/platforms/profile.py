@@ -56,6 +56,12 @@ class PlatformProfile:
         similar round-compressed algorithms (Flash, Pregel+).
     single_machine_only:
         Ligra: shared memory only; running on >1 machine is an error.
+    bulk_frontier:
+        Let the vertex-centric engine's ``auto`` mode take the
+        vectorized bulk-frontier path for programs that implement it
+        (parity-guaranteed with the scalar path, so on by default);
+        set ``False`` to pin a platform to the scalar path — an
+        ablation/debugging knob, not a modelled platform feature.
     partition_strategy:
         "hash" (vertex placement), "edge" (PowerGraph vertex-cuts), or
         "block" (Grape contiguous blocks).
@@ -78,6 +84,7 @@ class PlatformProfile:
     combiner: bool = False
     global_messaging: bool = False
     single_machine_only: bool = False
+    bulk_frontier: bool = True
     partition_strategy: str = "hash"
     bytes_per_vertex: float = 16.0
     bytes_per_edge: float = 16.0

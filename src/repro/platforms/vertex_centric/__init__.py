@@ -1,3 +1,9 @@
 """Vertex-centric ("Think Like a Vertex") engine and platforms:
 GraphX, Pregel+, Flash, and Ligra personalities over a synchronous
-Pregel-style BSP executor."""
+Pregel-style BSP executor.
+
+The engine offers two parity-guaranteed execution paths: a scalar
+per-vertex loop (the general fallback) and a vectorized bulk-frontier
+path (:class:`~repro.platforms.vertex_centric.engine.BulkVertexProgram`)
+that processes whole frontiers as numpy arrays — bit-identical results
+and WorkTraces, selected per run via the engine's ``mode``."""

@@ -93,7 +93,13 @@ class VertexCentricPlatform(Platform):
         params: dict,
     ) -> Any:
         partition = hash_partition(graph, NUM_PARTS)
-        engine = VertexCentricEngine(graph, partition, recorder, self.profile)
+        # "auto" routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
+        # through the vectorized bulk-frontier path; "scalar"/"bulk"
+        # force one path (the parity tests diff the two).
+        mode = params.pop("engine_mode", "auto")
+        engine = VertexCentricEngine(
+            graph, partition, recorder, self.profile, mode=mode
+        )
         profile = self.profile
 
         if algorithm == "pr":

@@ -21,7 +21,14 @@ import numpy as np
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
 from repro.platforms.common import forward_adjacency
-from repro.platforms.vertex_centric.engine import VertexContext, VertexProgram
+from repro.platforms.vertex_centric.engine import (
+    BulkInbox,
+    BulkVertexContext,
+    BulkVertexProgram,
+    VertexContext,
+    VertexProgram,
+    sequential_sum,
+)
 
 __all__ = [
     "PageRankProgram",
@@ -37,7 +44,7 @@ __all__ = [
 ]
 
 
-class PageRankProgram(VertexProgram):
+class PageRankProgram(BulkVertexProgram):
     """Damped PageRank, fixed iteration count (benchmark setting: 10).
 
     Superstep 0 initializes and pushes contributions; supersteps
@@ -47,6 +54,7 @@ class PageRankProgram(VertexProgram):
     """
 
     combine = staticmethod(lambda a, b: a + b)
+    bulk_combine = "sum"
 
     def __init__(self, *, damping: float = 0.85, iterations: int = 10) -> None:
         self.damping = damping
@@ -79,8 +87,34 @@ class PageRankProgram(VertexProgram):
                 ctx.aggregate("dangling", self.ranks[v])
             ctx.activate(v)
 
+    def compute_bulk(
+        self, frontier: np.ndarray, inbox: BulkInbox, ctx: BulkVertexContext
+    ) -> None:
+        n = ctx.graph.num_vertices
+        if ctx.superstep > 0:
+            total = inbox.sum_per_vertex()[frontier]
+            dangling = ctx.get_aggregate("dangling")
+            self.ranks[frontier] = (
+                (1.0 - self.damping) / n
+                + self.damping * total
+                + self.damping * dangling / n
+            )
+        if ctx.superstep < self.iterations:
+            degrees = self._degrees[frontier]
+            senders = frontier[degrees > 0]
+            if senders.size:
+                ctx.send_to_neighbors_bulk(
+                    senders, self.ranks[senders] / self._degrees[senders]
+                )
+            dangling_v = frontier[degrees == 0]
+            if dangling_v.size:
+                ctx.aggregate(
+                    "dangling", sequential_sum(self.ranks[dangling_v])
+                )
+            ctx.activate_bulk(frontier)
 
-class LabelPropagationProgram(VertexProgram):
+
+class LabelPropagationProgram(BulkVertexProgram):
     """Synchronous LPA with min-label tie-breaking (10 rounds).
 
     ``hash_merge_factor`` models the per-message hash-table merging cost;
@@ -114,8 +148,58 @@ class LabelPropagationProgram(VertexProgram):
                 ctx.send_to_neighbors(v, int(self.labels[v]))
             ctx.activate(v)
 
+    def compute_bulk(
+        self, frontier: np.ndarray, inbox: BulkInbox, ctx: BulkVertexContext
+    ) -> None:
+        if ctx.superstep > 0 and not inbox.empty:
+            recv = inbox.destinations()
+            counts = inbox.count_per_vertex()
+            ctx.charge_bulk(
+                recv, self.hash_merge_factor * counts[recv].astype(np.float64)
+            )
+            best = self._modal_min_labels(inbox)
+            changed = recv[best[recv] != self.labels[recv]]
+            if changed.size:
+                self.labels[changed] = best[changed]
+                ctx.aggregate("changed", float(changed.size))
+        if ctx.superstep < self.iterations:
+            if ctx.superstep >= 2 and ctx.get_aggregate("changed") == 0.0:
+                return  # converged: the paper's early-exit
+            indptr = ctx.graph.indptr
+            degrees = indptr[frontier + 1] - indptr[frontier]
+            senders = frontier[degrees > 0]
+            if senders.size:
+                ctx.send_to_neighbors_bulk(senders, self.labels[senders])
+            ctx.activate_bulk(frontier)
 
-class SSSPProgram(VertexProgram):
+    def _modal_min_labels(self, inbox: BulkInbox) -> np.ndarray:
+        """Per-vertex modal label with min-label tie-breaking, matching
+        the scalar path's ``np.unique``-based mode exactly."""
+        dst, values = inbox.raw()
+        labels = np.asarray(values, dtype=np.int64)
+        order = np.lexsort((labels, dst))
+        d, l = dst[order], labels[order]
+        # Run-length encode consecutive (dst, label) pairs.
+        boundary = np.empty(d.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (d[1:] != d[:-1]) | (l[1:] != l[:-1])
+        run_start = np.nonzero(boundary)[0]
+        run_d = d[run_start]
+        run_l = l[run_start]
+        run_count = np.diff(np.append(run_start, d.size))
+        # Order runs by (dst, -count, label): the first run per dst is
+        # the most frequent label, smallest id on ties.
+        sel = np.lexsort((run_l, -run_count, run_d))
+        sd = run_d[sel]
+        first = np.empty(sd.size, dtype=bool)
+        first[0] = True
+        first[1:] = sd[1:] != sd[:-1]
+        best = self.labels.copy()
+        best[sd[first]] = run_l[sel][first]
+        return best
+
+
+class SSSPProgram(BulkVertexProgram):
     """Bellman–Ford-style SSSP: relax on message, propagate improvements.
 
     Supersteps grow with the shortest-path hop depth — the diameter
@@ -124,6 +208,7 @@ class SSSPProgram(VertexProgram):
     """
 
     combine = staticmethod(min)
+    bulk_combine = "min"
 
     def __init__(self, source: int = 0) -> None:
         self.source = source
@@ -156,8 +241,37 @@ class SSSPProgram(VertexProgram):
             else:
                 ctx.send_to_neighbors(v, best + 1.0)
 
+    def compute_bulk(
+        self, frontier: np.ndarray, inbox: BulkInbox, ctx: BulkVertexContext
+    ) -> None:
+        best = self.dist[frontier].copy()
+        is_source = None
+        if ctx.superstep == 0:
+            is_source = frontier == self.source
+            best[is_source] = 0.0
+        if not inbox.empty:
+            best = np.minimum(
+                best, inbox.min_per_vertex().astype(np.float64)[frontier]
+            )
+        improved = best < self.dist[frontier]
+        if is_source is not None:
+            improved |= is_source
+        relaxed = frontier[improved]
+        if relaxed.size == 0:
+            return
+        newd = best[improved]
+        self.dist[relaxed] = newd
+        graph = ctx.graph
+        if graph.is_weighted:
+            src_flat, dst_flat, slot = ctx.expand_frontier(relaxed)
+            counts = graph.indptr[relaxed + 1] - graph.indptr[relaxed]
+            values = np.repeat(newd, counts) + graph.weights[slot]
+            ctx.send_edges_bulk(src_flat, dst_flat, values)
+        else:
+            ctx.send_to_neighbors_bulk(relaxed, newd + 1.0)
 
-class WCCHashMinProgram(VertexProgram):
+
+class WCCHashMinProgram(BulkVertexProgram):
     """HashMin connected components: flood the minimum vertex id.
 
     Supersteps are proportional to the component diameter — the baseline
@@ -165,6 +279,7 @@ class WCCHashMinProgram(VertexProgram):
     """
 
     combine = staticmethod(min)
+    bulk_combine = "min"
 
     def __init__(self) -> None:
         self.labels: np.ndarray | None = None
@@ -180,6 +295,22 @@ class WCCHashMinProgram(VertexProgram):
         if best < self.labels[v] or ctx.superstep == 0:
             self.labels[v] = best
             ctx.send_to_neighbors(v, best)
+
+    def compute_bulk(
+        self, frontier: np.ndarray, inbox: BulkInbox, ctx: BulkVertexContext
+    ) -> None:
+        best = self.labels[frontier].copy()
+        if not inbox.empty:
+            best = np.minimum(best, inbox.min_per_vertex()[frontier])
+        if ctx.superstep == 0:
+            senders = frontier
+        else:
+            lowered = best < self.labels[frontier]
+            senders = frontier[lowered]
+            best = best[lowered]
+        if senders.size:
+            self.labels[senders] = best
+            ctx.send_to_neighbors_bulk(senders, best)
 
 
 class WCCPointerJumpProgram(VertexProgram):

@@ -62,12 +62,37 @@ class TestRecorder:
         assert trace.total_messages == 10
         assert trace.total_message_bytes == pytest.approx(80.0)
 
-    def test_part_wraparound(self):
+    def test_add_compute_rejects_out_of_range_part(self):
+        """Regression: a buggy partition map used to be masked by a
+        silent ``% parts`` wrap; it must raise instead."""
         rec = TraceRecorder(4)
         rec.begin_superstep()
-        rec.add_compute(5, 7.0)  # 5 % 4 == 1
+        with pytest.raises(ClusterConfigError):
+            rec.add_compute(5, 7.0)
+        with pytest.raises(ClusterConfigError):
+            rec.add_compute(-1, 7.0)
+
+    def test_add_message_rejects_out_of_range_part(self):
+        rec = TraceRecorder(4)
+        rec.begin_superstep()
+        with pytest.raises(ClusterConfigError):
+            rec.add_message(0, 4, 8.0)
+        with pytest.raises(ClusterConfigError):
+            rec.add_message(7, 0, 8.0)
+        # In-range charges still land where they were addressed.
+        rec.add_message(3, 1, 8.0, count=2)
         rec.end_superstep()
-        assert rec.trace.steps[0].ops[1] == pytest.approx(7.0)
+        assert rec.trace.steps[0].msg_count[3, 1] == 2
+
+    def test_add_message_block_charges_raw_byte_total(self):
+        rec = TraceRecorder(4)
+        rec.begin_superstep()
+        rec.add_message_block(0, 2, total_bytes=40.0, count=3)
+        rec.end_superstep()
+        assert rec.trace.steps[0].msg_count[0, 2] == 3
+        assert rec.trace.steps[0].msg_bytes[0, 2] == pytest.approx(40.0)
+        with pytest.raises(ClusterConfigError):
+            rec.add_message_block(0, 9, total_bytes=8.0, count=1)
 
 
 class TestPricing:

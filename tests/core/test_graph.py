@@ -176,3 +176,92 @@ class TestTransformations:
     def test_equality_and_inequality(self, path5):
         assert path5 == path_graph(5)
         assert path5 != path_graph(6)
+
+
+class TestSelfLoopStorage:
+    """Regressions for the undirected self-loop double-storage bug:
+    with ``drop_self_loops=False`` the src/dst mirror used to store a
+    loop in two CSR slots, so edge_arrays()/round-trips counted it
+    twice, violating the documented "counted once" invariant."""
+
+    def _loopy(self, **kwargs):
+        # edges: loop (1,1), plus (0,1) and (1,2)
+        return Graph.from_edges(
+            [1, 0, 1], [1, 1, 2], drop_self_loops=False, **kwargs
+        )
+
+    def test_loop_occupies_one_slot(self):
+        g = self._loopy()
+        assert np.array_equal(g.neighbors(1), [0, 1, 2])
+        assert g.degree(1) == 3
+
+    def test_edge_arrays_yield_loop_once(self):
+        g = self._loopy()
+        src, dst, _ = g.edge_arrays()
+        assert src.shape[0] == g.num_edges == 3
+        assert int(((src == 1) & (dst == 1)).sum()) == 1
+
+    def test_edges_iterator_yields_loop_once(self):
+        g = self._loopy()
+        assert sorted(g.edges()) == [(0, 1), (1, 1), (1, 2)]
+
+    def test_with_weights_round_trip_preserves_edge_count(self):
+        g = self._loopy()
+        w = g.with_weights(np.arange(1.0, 4.0))
+        assert w.num_edges == g.num_edges == 3
+        assert w.edge_weight(1, 1) > 0
+
+    def test_to_undirected_round_trip_preserves_edge_count(self):
+        g = Graph.from_edges(
+            [1, 0, 2], [1, 1, 1], directed=True, drop_self_loops=False
+        )
+        u = g.to_undirected()
+        assert u.num_edges == 3
+        assert sorted(u.edges()) == [(0, 1), (1, 1), (1, 2)]
+        assert u.to_undirected().num_edges == 3
+
+    def test_weighted_loop_keeps_single_weight(self):
+        g = Graph.from_edges(
+            [0, 0], [0, 1], weights=[5.0, 1.0], drop_self_loops=False
+        )
+        assert g.edge_weight(0, 0) == pytest.approx(5.0)
+        _, _, w = g.edge_arrays()
+        assert w.shape[0] == 2
+
+
+class TestEdgeWeightLookup:
+    def test_binary_search_on_sorted_adjacency(self, monkeypatch):
+        """Regression: edge_weight used a full np.nonzero scan even on
+        sorted adjacency; it must take the binary-search path."""
+        g = Graph.from_edges(
+            [0, 0, 0, 2], [1, 2, 3, 3],
+            weights=[1.0, 2.0, 3.0, 4.0], directed=True
+        )
+        assert g._adjacency_sorted()
+        monkeypatch.setattr(np, "nonzero", lambda *a, **k: pytest.fail(
+            "edge_weight scanned instead of binary-searching"
+        ))
+        assert g.edge_weight(0, 2) == pytest.approx(2.0)
+        assert g.edge_weight(2, 3) == pytest.approx(4.0)
+        with pytest.raises(GraphStructureError):
+            g.edge_weight(0, 0)
+
+    def test_linear_fallback_on_unsorted_adjacency(self):
+        indptr = np.array([0, 2, 2])
+        indices = np.array([1, 0])  # block [1, 0] is unsorted
+        g = Graph.from_arrays(
+            indptr, indices, weights=np.array([7.0, 8.0]),
+            directed=True, num_edges=2,
+        )
+        assert not g._adjacency_sorted()
+        assert g.edge_weight(0, 0) == pytest.approx(8.0)
+
+    def test_matches_has_edge_on_weighted_directed_graph(self):
+        rng = np.random.default_rng(11)
+        src = rng.integers(0, 40, size=300)
+        dst = rng.integers(0, 40, size=300)
+        w = rng.uniform(0.1, 2.0, size=300)
+        g = Graph.from_edges(src, dst, weights=w, directed=True)
+        s, d, wts = g.edge_arrays()
+        for u, v, expect in zip(s[:50], d[:50], wts[:50]):
+            assert g.edge_weight(int(u), int(v)) == pytest.approx(expect)
