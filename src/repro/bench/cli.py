@@ -7,6 +7,7 @@ corresponding tables/series; results are also written under
     repro-bench list
     repro-bench table4
     repro-bench fig10 --scale-divisor 4000
+    repro-bench timing --trace out.json   # Chrome/Perfetto trace
     repro-bench all
 """
 
@@ -14,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -395,12 +397,41 @@ def main(argv: list[str] | None = None) -> int:
         help="override the dataset down-scaling factor "
              "(default 2000; smaller = bigger graphs)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record an observability trace of the run: Chrome-trace "
+             "JSON (open in chrome://tracing or Perfetto), or JSONL "
+             "when PATH ends in .jsonl; a text summary tree goes to "
+             "stderr (see docs/observability.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in _COMMANDS:
             print(name)
         return 0
+
+    if args.trace is None:
+        return _dispatch(args)
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        code = _dispatch(args)
+    path = Path(args.trace)
+    if path.suffix == ".jsonl":
+        path.write_text(obs.to_jsonl(tracer), encoding="utf-8")
+    else:
+        path.write_text(obs.chrome_trace_json(tracer), encoding="utf-8")
+    print(obs.summary_tree(tracer), file=sys.stderr)
+    print(f"trace written to {path}", file=sys.stderr)
+    return code
+
+
+def _dispatch(args) -> int:
+    """Run the selected experiment(s); returns a process exit code."""
     if args.experiment == "all":
         for name, fn in _COMMANDS.items():
             print(f"### {name}", file=sys.stderr)

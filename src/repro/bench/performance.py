@@ -203,8 +203,11 @@ def timing_breakdown_table(
     dataset: str = "S8-Std",
     platforms: tuple[str, ...] | None = None,
 ) -> list[dict[str, object]]:
-    """Table 5's timing vocabulary, measured: upload time, running
-    time, and makespan per platform for one algorithm/dataset."""
+    """Measured timing breakdown per platform for one algorithm/dataset.
+
+    Columns follow :class:`~repro.cluster.metrics.RunMetrics`, the
+    canonical definition of the Table-5 vocabulary (upload, running
+    time, makespan, throughput)."""
     names = platforms or tuple(p.name for p in all_platforms())
     rows: list[dict[str, object]] = []
     for name in names:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.cluster.spec import ClusterSpec
 from repro.errors import ClusterConfigError, OutOfMemoryError
+from repro.obs import get_tracer, note_superstep
 
 __all__ = [
     "NUM_PARTS",
@@ -218,13 +219,20 @@ class TraceRecorder:
         return part
 
     def end_superstep(self) -> None:
-        """Seal the open superstep into the trace."""
+        """Seal the open superstep into the trace.
+
+        When a tracer is installed (:func:`repro.obs.get_tracer`), the
+        sealed step's totals are also fed to the observability counters
+        — a read-only roll-up that cannot perturb the trace itself.
+        """
         self._require_open()
-        self.trace.steps.append(
-            SuperstepRecord(ops=self._ops, msg_count=self._count,
-                            msg_bytes=self._bytes)
-        )
+        record = SuperstepRecord(ops=self._ops, msg_count=self._count,
+                                 msg_bytes=self._bytes)
+        self.trace.steps.append(record)
         self._ops = self._count = self._bytes = None
+        tracer = get_tracer()
+        if tracer.enabled:
+            note_superstep(tracer, record)
 
     def _require_open(self) -> None:
         if self._ops is None:

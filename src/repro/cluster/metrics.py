@@ -1,9 +1,18 @@
 """Run metrics: the Table-5 performance measurement vocabulary.
 
+This module is the **canonical definition** of the vocabulary — other
+docstrings (:mod:`repro.platforms.base`, :mod:`repro.bench.runner`,
+:mod:`repro.bench.performance`) cross-reference it rather than restating
+it:
+
 * **Upload time** — read, convert, partition, and load the graph.
 * **Running time** — the algorithm execution itself.
 * **Makespan** — upload + run + result write-back.
 * **Throughput** — edges processed per second of running time.
+
+The observability layer (:mod:`repro.obs`) uses the same counter names
+(``compute_ops``, ``msg_count``, ``msg_bytes``, ``supersteps``) for its
+in-run roll-ups.
 """
 
 from __future__ import annotations

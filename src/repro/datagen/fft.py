@@ -39,6 +39,7 @@ from repro.datagen.base import (
     homophily_order,
 )
 from repro.errors import GeneratorParameterError
+from repro.obs import GEN_EDGES, GEN_TRIALS, get_tracer
 
 __all__ = ["FFTDGConfig", "FFTDG", "generate_fft", "groups_for_diameter"]
 
@@ -139,29 +140,42 @@ class FFTDG:
     def generate(self) -> GenerationResult:
         """Run all three stages and return the generated graph."""
         cfg = self.config
+        tracer = get_tracer()
         start = time.perf_counter()
         n = cfg.num_vertices
 
-        order = None
-        if cfg.use_homophily_order:
-            properties = generate_vertex_properties(n, seed=cfg.seed)
-            if cfg.relabel_to_original_ids:
-                order = homophily_order(properties)
-            else:
-                homophily_order(properties)  # stage 2 runs; ids = positions
+        with tracer.span("fftdg/generate", category="datagen",
+                         n=n, alpha=cfg.alpha,
+                         group_count=cfg.group_count, seed=cfg.seed):
+            order = None
+            if cfg.use_homophily_order:
+                with tracer.span("vertex-properties", category="datagen"):
+                    properties = generate_vertex_properties(n, seed=cfg.seed)
+                with tracer.span("homophily-order", category="datagen"):
+                    if cfg.relabel_to_original_ids:
+                        order = homophily_order(properties)
+                    else:
+                        # stage 2 runs; ids = positions
+                        homophily_order(properties)
 
-        src, dst, counter = self._sample_edges()
-        elapsed = time.perf_counter() - start
+            with tracer.span("sample-edges", category="datagen"):
+                src, dst, counter = self._sample_edges()
+            if tracer.enabled:
+                tracer.add(GEN_EDGES, float(counter.edges))
+                tracer.add(GEN_TRIALS, float(counter.trials))
+            elapsed = time.perf_counter() - start
 
-        src_arr = np.asarray(src, dtype=np.int64)
-        dst_arr = np.asarray(dst, dtype=np.int64)
-        if order is not None:
-            src_arr = order[src_arr]
-            dst_arr = order[dst_arr]
+            src_arr = np.asarray(src, dtype=np.int64)
+            dst_arr = np.asarray(dst, dtype=np.int64)
+            if order is not None:
+                src_arr = order[src_arr]
+                dst_arr = order[dst_arr]
 
-        from repro.core.graph import Graph
+            from repro.core.graph import Graph
 
-        graph = Graph.from_edges(src_arr, dst_arr, num_vertices=n, directed=False)
+            graph = Graph.from_edges(
+                src_arr, dst_arr, num_vertices=n, directed=False
+            )
         return GenerationResult(
             graph=graph,
             counter=counter,

@@ -58,3 +58,8 @@ class UsabilityError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for misconfigured experiments."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the tracing/metrics layer for misuse of the span or
+    counter APIs (unknown counter names, spans closed out of order)."""

@@ -1,0 +1,178 @@
+"""Canonical counter vocabulary and the registry that accumulates it.
+
+Before this module existed the same quantities lived under different
+names in different places: :class:`~repro.cluster.cost.TraceRecorder`
+meters ``ops``/``msg_count``/``msg_bytes`` per part,
+:class:`~repro.cluster.metrics.RunMetrics` reports ``compute_ops`` /
+``messages`` / ``remote_bytes`` / ``supersteps``, and the engines kept
+ad-hoc locals (the subgraph engine's adjacency cache, the bench runner's
+memoization).  :data:`VOCABULARY` fixes one name and one definition per
+quantity; :class:`CounterRegistry` accumulates them and rejects names
+outside the vocabulary, so a typo cannot silently fork the namespace
+again.
+
+The registry never *sources* numbers itself — instrumented code feeds it
+(see :meth:`repro.obs.Tracer.add`), and the sums here are observability
+roll-ups only.  The ground truth for pricing and parity remains the
+:class:`~repro.cluster.cost.WorkTrace`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "VOCABULARY",
+    "COMPUTE_OPS",
+    "MSG_COUNT",
+    "MSG_BYTES",
+    "SUPERSTEPS",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "GEN_EDGES",
+    "GEN_TRIALS",
+    "CASES_RUN",
+    "CASE_CACHE_HITS",
+    "CounterRegistry",
+    "note_superstep",
+]
+
+#: Metered compute operations (``TraceRecorder.add_compute``; surfaces in
+#: ``RunMetrics.compute_ops``).
+COMPUTE_OPS = "compute_ops"
+#: Messages charged between parts (``TraceRecorder.add_message`` /
+#: ``add_message_block``; surfaces in ``RunMetrics.messages``).
+MSG_COUNT = "msg_count"
+#: Payload bytes of those messages (surfaces in
+#: ``RunMetrics.remote_bytes`` once priced).
+MSG_BYTES = "msg_bytes"
+#: Sealed supersteps / GAS iterations / PEval-IncEval rounds / task waves.
+SUPERSTEPS = "supersteps"
+#: Remote adjacency fetches served from the per-worker cache
+#: (G-thinker's vertex cache in the subgraph-centric engine).
+CACHE_HITS = "cache_hits"
+#: Remote adjacency fetches that had to ship bytes (cache misses).
+CACHE_MISSES = "cache_misses"
+#: Edges produced by a data generator run.
+GEN_EDGES = "gen_edges"
+#: Sampling draws a generator made (FFT-DG's failure-free-trial count).
+GEN_TRIALS = "gen_trials"
+#: Benchmark cases executed for real by ``bench.runner.run_case``.
+CASES_RUN = "cases_run"
+#: Benchmark cases served from the session-level memo cache.
+CASE_CACHE_HITS = "case_cache_hits"
+
+#: The unified counter vocabulary: name -> one-line definition naming the
+#: subsystem that previously owned the quantity.
+VOCABULARY: dict[str, str] = {
+    COMPUTE_OPS: (
+        "Metered compute operations; was TraceRecorder ops / "
+        "RunMetrics.compute_ops."
+    ),
+    MSG_COUNT: (
+        "Messages charged between parts; was TraceRecorder msg_count / "
+        "RunMetrics.messages."
+    ),
+    MSG_BYTES: (
+        "Payload bytes of inter-part messages; was TraceRecorder "
+        "msg_bytes / RunMetrics.remote_bytes."
+    ),
+    SUPERSTEPS: (
+        "Sealed BSP supersteps (GAS iterations, block rounds, task "
+        "waves); was RunMetrics.supersteps."
+    ),
+    CACHE_HITS: (
+        "Remote adjacency pulls served from the subgraph engine's "
+        "per-worker vertex cache."
+    ),
+    CACHE_MISSES: (
+        "Remote adjacency pulls that shipped bytes (subgraph engine "
+        "cache misses)."
+    ),
+    GEN_EDGES: "Edges produced by a data-generator run (TrialCounter.edges).",
+    GEN_TRIALS: (
+        "Sampling draws made by a data-generator run "
+        "(TrialCounter.trials)."
+    ),
+    CASES_RUN: "Benchmark cases executed for real by run_case.",
+    CASE_CACHE_HITS: "Benchmark cases served from run_case's memo cache.",
+}
+
+
+class CounterRegistry:
+    """Accumulates named counters against the unified vocabulary.
+
+    Counters start at the vocabulary (:data:`VOCABULARY`) and may be
+    extended with :meth:`register`; adding to an unknown name raises
+    :class:`~repro.errors.ObservabilityError` so subsystems cannot
+    re-fragment the namespace with private spellings.
+    """
+
+    __slots__ = ("_docs", "_values")
+
+    def __init__(self) -> None:
+        self._docs: dict[str, str] = dict(VOCABULARY)
+        self._values: dict[str, float] = {}
+
+    def register(self, name: str, doc: str) -> None:
+        """Extend the vocabulary with a new counter and its definition."""
+        if not name or not doc:
+            raise ObservabilityError(
+                "counter registration needs a non-empty name and doc"
+            )
+        existing = self._docs.get(name)
+        if existing is not None and existing != doc:
+            raise ObservabilityError(
+                f"counter {name!r} already registered with a different "
+                "definition"
+            )
+        self._docs[name] = doc
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` onto counter ``name``."""
+        if name not in self._docs:
+            raise ObservabilityError(
+                f"unknown counter {name!r}; register() it or use one of "
+                f"{sorted(self._docs)}"
+            )
+        self._values[name] = self._values.get(name, 0.0) + float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of ``name`` (``default`` if never added to)."""
+        return self._values.get(name, default)
+
+    def describe(self, name: str) -> str:
+        """The vocabulary definition of ``name``."""
+        try:
+            return self._docs[name]
+        except KeyError:
+            raise ObservabilityError(f"unknown counter {name!r}") from None
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of all non-zero counters (insertion order)."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter, keeping registrations."""
+        self._values.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._docs
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def note_superstep(tracer, step) -> None:
+    """Feed one sealed superstep's totals into ``tracer``'s counters.
+
+    ``step`` is duck-typed on :class:`~repro.cluster.cost.SuperstepRecord`
+    (``ops``, ``msg_count``, ``msg_bytes`` arrays).  Called by
+    :meth:`TraceRecorder.end_superstep` when a tracer is enabled, which is
+    what instruments every engine family — and every ad-hoc metering
+    site — uniformly.
+    """
+    tracer.add(COMPUTE_OPS, float(step.ops.sum()))
+    tracer.add(MSG_COUNT, float(step.msg_count.sum()))
+    tracer.add(MSG_BYTES, float(step.msg_bytes.sum()))
+    tracer.add(SUPERSTEPS, 1.0)

@@ -1,0 +1,274 @@
+"""Spans and the process-global tracer.
+
+A :class:`Span` is a named, nested, wall-clock interval that also
+captures the *counter deltas* that occurred inside it (see
+:mod:`repro.obs.counters`).  A :class:`Tracer` collects finished spans;
+exporters in :mod:`repro.obs.export` turn them into JSONL, Chrome-trace
+JSON, or a text summary tree.
+
+Tracing is **off by default**: the process-global tracer starts as the
+:data:`NULL_TRACER`, whose ``span()`` hands back one shared no-op
+context manager and whose ``add()`` does nothing — instrumented hot
+paths pay a method call per *superstep*, never per vertex or message,
+and nothing per call beyond that.  Instrumentation must never write to a
+:class:`~repro.cluster.cost.TraceRecorder` or otherwise perturb metered
+work: the parity suite runs the engines with tracing on and asserts the
+WorkTraces stay bit-identical.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        run_case("Pregel+", "pr", "S8-Std")
+    print(obs.summary_tree(tracer))
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ObservabilityError
+from repro.obs.counters import CounterRegistry
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class Span:
+    """One named interval: wall-clock bounds, counter deltas, attributes.
+
+    Spans are created by :meth:`Tracer.span` and used as context
+    managers; entering pushes the span onto the tracer's stack (so
+    counter adds and child spans attach to it), exiting stamps the end
+    time, folds its counters into the parent for roll-up, and appends it
+    to the tracer's finished list.
+    """
+
+    __slots__ = ("name", "category", "attrs", "start", "end", "sid",
+                 "parent", "depth", "counters", "_tracer", "_entered")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        attrs: dict[str, object],
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.sid = 0
+        self.parent: int | None = None
+        self.depth = 0
+        self.counters: dict[str, float] = {}
+        self._tracer = tracer
+        self._entered = False
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit."""
+        return self.end - self.start
+
+    def set(self, **attrs: object) -> None:
+        """Attach or update attributes after the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        if self._entered:
+            raise ObservabilityError(f"span {self.name!r} entered twice")
+        self._entered = True
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self)
+        return False
+
+
+class _NullSpan:
+    """The shared no-op span: every method is a constant-time nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """No-op twin of :meth:`Span.set`."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead disabled tracer.
+
+    Instrumented code can call the same API unconditionally; every
+    method returns immediately.  Call sites guard non-trivial work (for
+    example summing a superstep record) behind :attr:`enabled`.
+    """
+
+    __slots__ = ()
+
+    #: Always ``False``; instrumentation branches on this.
+    enabled = False
+
+    def span(self, name: str, *, category: str = "run", **attrs: object):
+        """Return the shared no-op context manager."""
+        return _NULL_SPAN
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Discard a counter increment."""
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        category: str = "simulated",
+        **attrs: object,
+    ) -> None:
+        """Discard a manually timed span."""
+
+
+#: The single process-wide disabled tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans and counters for one traced session.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic-seconds callable; defaults to :func:`time.perf_counter`.
+        Tests inject a fake clock for deterministic durations.
+    """
+
+    #: Always ``True``; instrumentation branches on this.
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or time.perf_counter
+        self.epoch = self._clock()
+        self.spans: list[Span] = []
+        self.counters = CounterRegistry()
+        self._stack: list[Span] = []
+        self._next_sid = 1
+
+    # -- recording ------------------------------------------------------
+
+    def span(self, name: str, *, category: str = "run", **attrs: object) -> Span:
+        """Create a nested span; use it as a context manager."""
+        return Span(self, name, category, attrs)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Accumulate a counter globally and onto the innermost open span."""
+        self.counters.add(name, value)
+        if self._stack:
+            counters = self._stack[-1].counters
+            counters[name] = counters.get(name, 0.0) + float(value)
+
+    def record_span(
+        self,
+        name: str,
+        duration: float,
+        *,
+        category: str = "simulated",
+        **attrs: object,
+    ) -> None:
+        """Record an already-measured interval (e.g. simulated seconds).
+
+        The span is parented under the currently open span and anchored
+        at the current clock reading; its duration is taken verbatim, so
+        simulated phases (upload/run/writeback) can sit on their own
+        Chrome-trace track without pretending to be wall-clock.
+        """
+        if duration < 0:
+            raise ObservabilityError(
+                f"span duration must be >= 0, got {duration}"
+            )
+        span = Span(self, name, category, attrs)
+        now = self._clock()
+        span.start = now
+        span.end = now + duration
+        span.sid = self._next_sid
+        self._next_sid += 1
+        span.parent = self._stack[-1].sid if self._stack else None
+        span.depth = len(self._stack)
+        self.spans.append(span)
+
+    # -- queries --------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with the given name, in completion order."""
+        return [s for s in self.spans if s.name == name]
+
+    # -- span-stack internals -------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        span.start = self._clock()
+        span.sid = self._next_sid
+        self._next_sid += 1
+        span.parent = self._stack[-1].sid if self._stack else None
+        span.depth = len(self._stack)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+        span.end = self._clock()
+        if self._stack:
+            parent = self._stack[-1].counters
+            for key, value in span.counters.items():
+                parent[key] = parent.get(key, 0.0) + value
+        self.spans.append(span)
+
+
+_CURRENT: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-global tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _CURRENT
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` globally; returns the previous one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for a ``with`` block, restoring the previous tracer.
+
+    Creates a fresh :class:`Tracer` unless one is passed in; yields it so
+    the caller can export after the block.
+    """
+    active = tracer if tracer is not None else Tracer()
+    previous = set_tracer(active)
+    try:
+        yield active
+    finally:
+        set_tracer(previous)

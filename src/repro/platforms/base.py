@@ -5,7 +5,8 @@ with a set of algorithm implementations for its computing model.
 ``run()`` executes an algorithm for real (outputs are validated against
 the reference kernels in tests) while metering the distributed work into
 a :class:`~repro.cluster.cost.WorkTrace`, then prices the trace under the
-given cluster to produce the Table-5 metrics.
+given cluster to produce a :class:`~repro.cluster.metrics.RunMetrics`
+(the canonical Table-5 vocabulary is documented there).
 
 The returned :class:`PlatformRunResult` keeps the raw trace so scaling
 experiments can re-price the same run under different thread/machine
@@ -31,6 +32,7 @@ from repro.cluster.metrics import RunMetrics
 from repro.cluster.spec import ClusterSpec
 from repro.core.graph import Graph
 from repro.errors import PlatformError, UnsupportedAlgorithmError
+from repro.obs import get_tracer
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["Platform", "PlatformRunResult", "CORE_ALGORITHMS"]
@@ -118,14 +120,29 @@ class Platform:
         OutOfMemoryError
             When the working set exceeds cluster memory (stress test).
         """
-        self._validate(algorithm, cluster)
-        memory = self.profile.memory_bytes(graph.num_vertices, graph.num_edges)
-        memory += self._working_set_extra_bytes(algorithm, graph)
-        check_memory(memory, cluster, what=f"{self.name}/{algorithm}")
+        tracer = get_tracer()
+        with tracer.span(
+            f"{self.name}/{algorithm}",
+            category="platform",
+            platform=self.name,
+            algorithm=algorithm,
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        ):
+            self._validate(algorithm, cluster)
+            memory = self.profile.memory_bytes(
+                graph.num_vertices, graph.num_edges
+            )
+            memory += self._working_set_extra_bytes(algorithm, graph)
+            check_memory(memory, cluster, what=f"{self.name}/{algorithm}")
 
-        recorder = TraceRecorder(NUM_PARTS)
-        values = self._execute(algorithm, graph, recorder, params)
-        priced = price_trace(recorder.trace, cluster, self.profile.cost)
+            recorder = TraceRecorder(NUM_PARTS)
+            with tracer.span("execute", category="phase"):
+                values = self._execute(algorithm, graph, recorder, params)
+            with tracer.span("price", category="phase"):
+                priced = price_trace(
+                    recorder.trace, cluster, self.profile.cost
+                )
 
         upload = memory / (
             self.profile.upload_rate_bytes_per_second * cluster.machines

@@ -19,6 +19,7 @@ import numpy as np
 from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.core.partition import range_partition
+from repro.obs import get_tracer
 
 __all__ = ["BlockCentricEngine"]
 
@@ -34,11 +35,22 @@ class BlockCentricEngine:
         self.block_of = partition.owner
         self.blocks = [partition.members(b) for b in range(self.parts)]
         self._step_ops: np.ndarray | None = None
+        self._tracer = get_tracer()
+        self._round_index = 0
+        self._round_span = None
 
     # -- round management -----------------------------------------------
 
     def begin_round(self) -> None:
-        """Open one PEval/IncEval round (a BSP superstep)."""
+        """Open one PEval/IncEval round (a BSP superstep).
+
+        Round 0 is PEval, later rounds are IncEval; the open round is
+        also an observability span, closed by :meth:`end_round`.
+        """
+        name = "peval" if self._round_index == 0 else "inceval"
+        self._round_span = self._tracer.span(
+            name, category="superstep", index=self._round_index
+        ).__enter__()
         self.recorder.begin_superstep()
         self._step_ops = np.zeros(self.parts)
 
@@ -49,6 +61,9 @@ class BlockCentricEngine:
                 self.recorder.add_compute(b, float(self._step_ops[b]))
         self._step_ops = None
         self.recorder.end_superstep()
+        self._round_span.__exit__(None, None, None)
+        self._round_span = None
+        self._round_index += 1
 
     def charge(self, block: int, ops: float) -> None:
         """Charge sequential-kernel work to one block's worker."""

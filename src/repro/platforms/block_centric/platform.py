@@ -19,6 +19,7 @@ from repro.platforms.block_centric.algorithms import (
     tc_blocks,
     wcc_blocks,
 )
+from repro.obs import get_tracer
 from repro.platforms.block_centric.engine import BlockCentricEngine
 from repro.platforms.profile import PlatformProfile
 
@@ -40,6 +41,18 @@ class BlockCentricPlatform(Platform):
         return ["bfs", "lcc"]
 
     def _execute(
+        self,
+        algorithm: str,
+        graph: Graph,
+        recorder: TraceRecorder,
+        params: dict,
+    ) -> Any:
+        with get_tracer().span(
+            f"block-centric/{algorithm}", category="engine"
+        ):
+            return self._dispatch(algorithm, graph, recorder, params)
+
+    def _dispatch(
         self,
         algorithm: str,
         graph: Graph,

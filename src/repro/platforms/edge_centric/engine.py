@@ -30,6 +30,7 @@ import numpy as np
 from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.errors import ConvergenceError
+from repro.obs import get_tracer
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["GASProgram", "EdgeCentricEngine", "EdgePlacement"]
@@ -163,7 +164,14 @@ class EdgeCentricEngine:
 
     def run(self, program: GASProgram, *, max_iterations: int = 100000) -> GASProgram:
         """Run ``program`` until no vertices are active."""
+        with get_tracer().span(
+            f"edge-centric/{type(program).__name__}", category="engine"
+        ):
+            return self._run(program, max_iterations)
+
+    def _run(self, program: GASProgram, max_iterations: int) -> GASProgram:
         graph, rec, placement = self.graph, self.recorder, self.placement
+        tracer = get_tracer()
         parts = rec.parts
         program.setup(graph)
         active = set(int(v) for v in program.initial_active(graph))
@@ -175,54 +183,62 @@ class EdgeCentricEngine:
                 active.update(int(v) for v in extra)
             if not active or program.should_stop(iteration):
                 return program
-            rec.begin_superstep()
-            step_ops = np.zeros(parts)
-            next_active: set[int] = set()
+            with tracer.span("gas-iteration", category="superstep",
+                             index=iteration, active=len(active)):
+                rec.begin_superstep()
+                step_ops = np.zeros(parts)
+                next_active: set[int] = set()
 
-            for v in sorted(active):
-                neighbors = placement.neighbors[v]
-                nparts = placement.neighbor_parts[v]
-                master = int(placement.master[v])
+                for v in sorted(active):
+                    neighbors = placement.neighbors[v]
+                    nparts = placement.neighbor_parts[v]
+                    master = int(placement.master[v])
 
-                # Gather: fold each replica's local edges; partial accs
-                # travel replica -> master.
-                acc = None
-                if neighbors.size:
-                    weights = (
-                        graph.neighbor_weights(v) if weighted else None
-                    )
-                    partials: dict[int, object] = {}
-                    for idx, u in enumerate(neighbors.tolist()):
-                        p = int(nparts[idx])
-                        w = float(weights[idx]) if weights is not None else 1.0
-                        g = program.gather(int(u), v, w)
-                        if g is None:
-                            continue
-                        prev = partials.get(p)
-                        partials[p] = g if prev is None else program.merge(prev, g)
-                        step_ops[p] += 1.0
-                    for p, partial in partials.items():
-                        if p != master:
-                            rec.add_message(p, master, program.message_bytes)
-                        acc = partial if acc is None else program.merge(acc, partial)
+                    # Gather: fold each replica's local edges; partial
+                    # accs travel replica -> master.
+                    acc = None
+                    if neighbors.size:
+                        weights = (
+                            graph.neighbor_weights(v) if weighted else None
+                        )
+                        partials: dict[int, object] = {}
+                        for idx, u in enumerate(neighbors.tolist()):
+                            p = int(nparts[idx])
+                            w = (float(weights[idx])
+                                 if weights is not None else 1.0)
+                            g = program.gather(int(u), v, w)
+                            if g is None:
+                                continue
+                            prev = partials.get(p)
+                            partials[p] = (
+                                g if prev is None else program.merge(prev, g)
+                            )
+                            step_ops[p] += 1.0
+                        for p, partial in partials.items():
+                            if p != master:
+                                rec.add_message(p, master,
+                                                program.message_bytes)
+                            acc = (partial if acc is None
+                                   else program.merge(acc, partial))
 
-                # Apply at the master.
-                step_ops[master] += 1.0
-                changed = program.apply(v, acc)
+                    # Apply at the master.
+                    step_ops[master] += 1.0
+                    changed = program.apply(v, acc)
 
-                # Scatter: replica sync + neighbour activation.
-                if changed:
-                    for p in placement.replica_parts[v].tolist():
-                        if p != master:
-                            rec.add_message(master, p, program.message_bytes)
-                    if program.scatter(v):
-                        next_active.update(neighbors.tolist())
+                    # Scatter: replica sync + neighbour activation.
+                    if changed:
+                        for p in placement.replica_parts[v].tolist():
+                            if p != master:
+                                rec.add_message(master, p,
+                                                program.message_bytes)
+                        if program.scatter(v):
+                            next_active.update(neighbors.tolist())
 
-            for p in range(parts):
-                if step_ops[p]:
-                    rec.add_compute(p, float(step_ops[p]))
-            rec.end_superstep()
-            active = next_active
+                for p in range(parts):
+                    if step_ops[p]:
+                        rec.add_compute(p, float(step_ops[p]))
+                rec.end_superstep()
+                active = next_active
 
         raise ConvergenceError(
             f"{type(program).__name__} did not quiesce within "

@@ -20,6 +20,7 @@ from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.core.partition import hash_partition
 from repro.errors import GraphStructureError
+from repro.obs import CACHE_HITS, CACHE_MISSES, get_tracer
 from repro.platforms.common import forward_adjacency
 
 __all__ = ["SubgraphCentricEngine"]
@@ -42,9 +43,16 @@ class SubgraphCentricEngine:
         self.forward = forward_adjacency(graph)
         self._cache: set[tuple[int, int]] = set()
         self._step_ops: np.ndarray | None = None
+        self._tracer = get_tracer()
+        self._phase_index = 0
+        self._phase_span = None
 
     def begin_phase(self) -> None:
-        """Open one scheduling wave of tasks."""
+        """Open one scheduling wave of tasks (also an observability
+        span, closed by :meth:`end_phase`)."""
+        self._phase_span = self._tracer.span(
+            "task-wave", category="superstep", index=self._phase_index
+        ).__enter__()
         self.recorder.begin_superstep()
         self._step_ops = np.zeros(self.parts)
 
@@ -55,19 +63,31 @@ class SubgraphCentricEngine:
                 self.recorder.add_compute(p, float(self._step_ops[p]))
         self._step_ops = None
         self.recorder.end_superstep()
+        self._phase_span.__exit__(None, None, None)
+        self._phase_span = None
+        self._phase_index += 1
 
     def charge(self, worker: int, ops: float) -> None:
         """Charge task compute to a worker."""
         self._step_ops[worker] += ops
 
     def pull_adjacency(self, worker: int, u: int) -> np.ndarray:
-        """Fetch ``u``'s forward adjacency to ``worker`` (cached)."""
+        """Fetch ``u``'s forward adjacency to ``worker`` (cached).
+
+        Remote pulls count as observability cache hits/misses (local
+        reads count as neither — no fetch happens).
+        """
         owner_u = int(self.owner[u])
-        if owner_u != worker and (worker, u) not in self._cache:
-            self._cache.add((worker, u))
-            self.recorder.add_message(
-                owner_u, worker, 8.0 * self.forward[u].size
-            )
+        if owner_u != worker:
+            if (worker, u) not in self._cache:
+                self._cache.add((worker, u))
+                self.recorder.add_message(
+                    owner_u, worker, 8.0 * self.forward[u].size
+                )
+                if self._tracer.enabled:
+                    self._tracer.add(CACHE_MISSES, 1.0)
+            elif self._tracer.enabled:
+                self._tracer.add(CACHE_HITS, 1.0)
         return self.forward[u]
 
     # ------------------------------------------------------------------

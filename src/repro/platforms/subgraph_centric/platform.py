@@ -11,6 +11,7 @@ from typing import Any
 
 from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
+from repro.obs import get_tracer
 from repro.platforms.base import Platform
 from repro.platforms.profile import PlatformProfile
 from repro.platforms.subgraph_centric.engine import SubgraphCentricEngine
@@ -39,11 +40,14 @@ class SubgraphCentricPlatform(Platform):
         recorder: TraceRecorder,
         params: dict,
     ) -> Any:
-        engine = SubgraphCentricEngine(graph, recorder)
-        if algorithm == "tc":
-            return engine.count_triangles()
-        if algorithm == "kc":
-            return engine.count_k_cliques(params.get("k", 4))
-        if algorithm == "lcc":
-            return engine.local_clustering()
+        with get_tracer().span(
+            f"subgraph-centric/{algorithm}", category="engine"
+        ):
+            engine = SubgraphCentricEngine(graph, recorder)
+            if algorithm == "tc":
+                return engine.count_triangles()
+            if algorithm == "kc":
+                return engine.count_k_cliques(params.get("k", 4))
+            if algorithm == "lcc":
+                return engine.local_clustering()
         raise AssertionError(f"unhandled algorithm {algorithm!r}")

@@ -58,6 +58,7 @@ from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.core.partition import Partition
 from repro.errors import ConvergenceError, PlatformError
+from repro.obs import get_tracer
 from repro.platforms.profile import PlatformProfile
 
 __all__ = [
@@ -506,9 +507,14 @@ class VertexCentricEngine:
         else:
             use_bulk = bulk_capable and self.profile.bulk_frontier
         self.last_path = "bulk" if use_bulk else "scalar"
-        if use_bulk:
-            return self._run_bulk(program, max_supersteps)
-        return self._run_scalar(program, max_supersteps, scripted)
+        with get_tracer().span(
+            f"vertex-centric/{type(program).__name__}",
+            category="engine",
+            path=self.last_path,
+        ):
+            if use_bulk:
+                return self._run_bulk(program, max_supersteps)
+            return self._run_scalar(program, max_supersteps, scripted)
 
     # ------------------------------------------------------------------
     # Scalar path
@@ -521,6 +527,7 @@ class VertexCentricEngine:
         scripted: list[np.ndarray] | None,
     ) -> VertexProgram:
         graph, rec, profile = self.graph, self.recorder, self.profile
+        tracer = get_tracer()
         parts = rec.parts
         program.setup(graph)
         if scripted is not None:
@@ -558,35 +565,38 @@ class VertexCentricEngine:
                     return program
                 compute_list = sorted(active | inbox.keys())
 
-            rec.begin_superstep()
-            ctx.superstep = superstep
-            part = self._part
-            step_ops = np.zeros(parts)
+            with tracer.span("superstep", category="superstep",
+                             index=superstep, frontier=len(compute_list)):
+                rec.begin_superstep()
+                ctx.superstep = superstep
+                part = self._part
+                step_ops = np.zeros(parts)
 
-            # Push/pull auto-switching: pull-mode sequential reads halve
-            # per-message cost, but only dense frontiers qualify.
-            dense = len(compute_list) >= dense_threshold
-            msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
+                # Push/pull auto-switching: pull-mode sequential reads
+                # halve per-message cost, but only dense frontiers
+                # qualify.
+                dense = len(compute_list) >= dense_threshold
+                msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
 
-            # Per-superstep scan overhead (the vertex_subset effect).
-            if profile.vertex_subset:
+                # Per-superstep scan overhead (the vertex_subset effect).
+                if profile.vertex_subset:
+                    for v in compute_list:
+                        step_ops[part[v]] += 1.0
+                else:
+                    step_ops += self._part_sizes
+
                 for v in compute_list:
-                    step_ops[part[v]] += 1.0
-            else:
-                step_ops += self._part_sizes
+                    msgs = inbox.pop(v, _EMPTY)
+                    if msgs:
+                        step_ops[part[v]] += msg_op_cost * len(msgs)
+                    program.compute(v, msgs, ctx)
 
-            for v in compute_list:
-                msgs = inbox.pop(v, _EMPTY)
-                if msgs:
-                    step_ops[part[v]] += msg_op_cost * len(msgs)
-                program.compute(v, msgs, ctx)
+                inbox = self._route(ctx, program, step_ops)
 
-            inbox = self._route(ctx, program, step_ops)
+                self._flush_superstep(ctx._agg_next, step_ops)
 
-            self._flush_superstep(ctx._agg_next, step_ops)
-
-            active = set(ctx._next_active)
-            ctx._roll()
+                active = set(ctx._next_active)
+                ctx._roll()
 
         raise ConvergenceError(
             f"{type(program).__name__} did not quiesce within "
@@ -661,6 +671,7 @@ class VertexCentricEngine:
         self, program: BulkVertexProgram, max_supersteps: int
     ) -> VertexProgram:
         graph, rec, profile = self.graph, self.recorder, self.profile
+        tracer = get_tracer()
         parts = rec.parts
         part = self._part
         n = graph.num_vertices
@@ -694,35 +705,37 @@ class VertexCentricEngine:
             else:
                 frontier = np.union1d(active, inbox_dsts)
 
-            rec.begin_superstep()
-            step_ops = np.zeros(parts)
+            with tracer.span("superstep", category="superstep",
+                             index=superstep, frontier=int(frontier.size)):
+                rec.begin_superstep()
+                step_ops = np.zeros(parts)
 
-            dense = frontier.size >= dense_threshold
-            msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
+                dense = frontier.size >= dense_threshold
+                msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
 
-            # Per-superstep scan overhead (the vertex_subset effect).
-            if profile.vertex_subset:
-                step_ops += np.bincount(part[frontier], minlength=parts)
-            else:
-                step_ops += self._part_sizes
+                # Per-superstep scan overhead (the vertex_subset effect).
+                if profile.vertex_subset:
+                    step_ops += np.bincount(part[frontier], minlength=parts)
+                else:
+                    step_ops += self._part_sizes
 
-            # Per-message processing cost at the receivers.
-            if inbox_dsts.size:
-                counts = inbox.count_per_vertex()[inbox_dsts]
-                step_ops += msg_op_cost * np.bincount(
-                    part[inbox_dsts],
-                    weights=counts.astype(np.float64),
-                    minlength=parts,
-                )
+                # Per-message processing cost at the receivers.
+                if inbox_dsts.size:
+                    counts = inbox.count_per_vertex()[inbox_dsts]
+                    step_ops += msg_op_cost * np.bincount(
+                        part[inbox_dsts],
+                        weights=counts.astype(np.float64),
+                        minlength=parts,
+                    )
 
-            program.compute_bulk(frontier, inbox, ctx)
+                program.compute_bulk(frontier, inbox, ctx)
 
-            inbox = self._route_bulk(ctx, program, step_ops, combining)
+                inbox = self._route_bulk(ctx, program, step_ops, combining)
 
-            self._flush_superstep(ctx._agg_next, step_ops)
+                self._flush_superstep(ctx._agg_next, step_ops)
 
-            active = ctx._take_active()
-            ctx._roll()
+                active = ctx._take_active()
+                ctx._roll()
 
         raise ConvergenceError(
             f"{type(program).__name__} did not quiesce within "

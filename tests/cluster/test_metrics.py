@@ -37,3 +37,44 @@ def test_as_row_keys(metrics):
     assert row["makespan_s"] == pytest.approx(12.5)
     assert row["edges_per_s"] == pytest.approx(100_000.0)
     assert row["supersteps"] == 11
+
+
+def test_throughput_zero_run_with_zero_edges():
+    # An empty run that also took no time: still inf, never 0/0 = nan.
+    m = RunMetrics(0, 0, 0, 0, 0, 0, 0, 0)
+    assert m.throughput_edges_per_second == float("inf")
+
+
+def test_throughput_zero_edges_positive_time():
+    m = RunMetrics(0, 1.0, 0, 0, 0, 0, 0, 0)
+    assert m.throughput_edges_per_second == 0.0
+
+
+def test_zero_superstep_run():
+    # E.g. an algorithm whose frontier is empty from the start.
+    m = RunMetrics(
+        upload_seconds=1.0,
+        run_seconds=0.25,
+        writeback_seconds=0.1,
+        edges_processed=500,
+        compute_ops=0.0,
+        messages=0,
+        remote_bytes=0.0,
+        supersteps=0,
+    )
+    assert m.makespan_seconds == pytest.approx(1.35)
+    assert m.throughput_edges_per_second == pytest.approx(2000.0)
+    row = m.as_row()
+    assert row["supersteps"] == 0.0
+    assert row["messages"] == 0.0
+
+
+@pytest.mark.parametrize(
+    "upload,run,writeback",
+    [(0.0, 0.0, 0.0), (1.5, 0.0, 0.0), (0.0, 2.0, 0.0),
+     (0.0, 0.0, 0.75), (3.25, 7.5, 0.125)],
+)
+def test_makespan_is_sum_of_phases(upload, run, writeback):
+    m = RunMetrics(upload, run, writeback, 1, 0, 0, 0, 1)
+    assert m.makespan_seconds == pytest.approx(upload + run + writeback)
+    assert m.as_row()["makespan_s"] == pytest.approx(m.makespan_seconds)

@@ -1,0 +1,144 @@
+"""Acceptance tests for engine instrumentation.
+
+Two invariants from the observability design:
+
+* every engine family emits nested spans when tracing is enabled;
+* tracing is read-only with respect to metered work — the ``WorkTrace``
+  a run produces must be bit-identical with and without a tracer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.bench.runner import clear_case_cache, run_case
+from repro.cluster.spec import single_machine
+from repro.datagen.catalog import clear_dataset_cache
+from repro.datagen.fft import generate_fft
+from repro.platforms.registry import get_platform
+
+#: One representative platform per computing model, with an algorithm
+#: that model supports.
+ENGINE_FAMILIES = [
+    ("Pregel+", "pr", "vertex-centric"),
+    ("PowerGraph", "pr", "edge-centric"),
+    ("Grape", "pr", "block-centric"),
+    ("G-thinker", "tc", "subgraph-centric"),
+]
+
+#: Span names each family's per-superstep/phase instrumentation uses.
+STEP_SPAN_NAMES = {
+    "vertex-centric": {"superstep"},
+    "edge-centric": {"gas-iteration"},
+    "block-centric": {"peval", "inceval"},
+    "subgraph-centric": {"task-wave"},
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_fft(200, alpha=40.0, seed=3).graph
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return single_machine(32)
+
+
+def _traces_identical(a, b) -> bool:
+    if len(a.steps) != len(b.steps):
+        return False
+    return all(
+        np.array_equal(x.ops, y.ops)
+        and np.array_equal(x.msg_count, y.msg_count)
+        and np.array_equal(x.msg_bytes, y.msg_bytes)
+        for x, y in zip(a.steps, b.steps)
+    )
+
+
+@pytest.mark.parametrize(
+    "platform_name,algorithm,family",
+    ENGINE_FAMILIES,
+    ids=[f[2] for f in ENGINE_FAMILIES],
+)
+class TestEngineFamilies:
+    def test_worktrace_parity_with_tracer_on(
+        self, platform_name, algorithm, family, graph, cluster
+    ):
+        platform = get_platform(platform_name)
+        plain = platform.run(algorithm, graph, cluster)
+        with obs.tracing():
+            traced = platform.run(algorithm, graph, cluster)
+        assert _traces_identical(plain.trace, traced.trace)
+        assert np.array_equal(
+            np.asarray(plain.values), np.asarray(traced.values)
+        )
+
+    def test_nested_spans_emitted(
+        self, platform_name, algorithm, family, graph, cluster
+    ):
+        platform = get_platform(platform_name)
+        with obs.tracing() as tracer:
+            platform.run(algorithm, graph, cluster)
+        steps = [s for s in tracer.spans if s.category == "superstep"]
+        assert steps, f"{family} emitted no per-superstep spans"
+        assert {s.name for s in steps} <= STEP_SPAN_NAMES[family]
+        # nested: every superstep span has an enclosing engine span...
+        engines = {s.sid: s for s in tracer.spans if s.category == "engine"}
+        assert all(s.parent in engines for s in steps)
+        # ...which itself nests under the platform's execute phase.
+        assert all(e.depth >= 1 for e in engines.values())
+
+    def test_superstep_spans_carry_counters(
+        self, platform_name, algorithm, family, graph, cluster
+    ):
+        platform = get_platform(platform_name)
+        with obs.tracing() as tracer:
+            result = platform.run(algorithm, graph, cluster)
+        steps = [s for s in tracer.spans if s.category == "superstep"]
+        total_ops = sum(s.counters.get(obs.COMPUTE_OPS, 0.0) for s in steps)
+        assert total_ops == pytest.approx(result.trace.total_ops)
+        assert tracer.counters.get(obs.SUPERSTEPS) == len(steps)
+
+
+class TestChromeTraceAcceptance:
+    """Chrome-trace export of a PR-on-S8 run loads as valid trace JSON."""
+
+    @pytest.fixture(scope="class")
+    def tracer(self):
+        clear_case_cache()
+        clear_dataset_cache()  # so the trace covers fftdg/generate too
+        with obs.tracing() as t:
+            outcome = run_case("Pregel+", "pr", "S8-Std")
+        assert outcome.status == "ok"
+        return t
+
+    def test_round_trips_as_trace_event_json(self, tracer):
+        payload = json.loads(obs.chrome_trace_json(tracer))
+        assert isinstance(payload["traceEvents"], list)
+        for event in payload["traceEvents"]:
+            assert event["ph"] in {"X", "M"}
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float))
+                assert event["dur"] >= 0
+                assert isinstance(event["args"], dict)
+
+    def test_case_span_hierarchy(self, tracer):
+        (case,) = tracer.find("case/Pregel+/pr/S8-Std")
+        children = [s for s in tracer.spans if s.parent == case.sid]
+        names = {s.name for s in children}
+        assert {"build-dataset", "Pregel+/pr",
+                "upload", "run", "writeback"} <= names
+
+    def test_simulated_phases_match_metrics(self, tracer):
+        clear_case_cache()  # the fixture's cache entry, keep tests isolated
+        (run_span,) = tracer.find("run")
+        assert run_span.category == "simulated"
+        assert run_span.duration > 0
+
+    def test_counters_accumulated(self, tracer):
+        assert tracer.counters.get(obs.CASES_RUN) == 1.0
+        assert tracer.counters.get(obs.SUPERSTEPS) > 0
+        assert tracer.counters.get(obs.GEN_EDGES) > 0
