@@ -1,17 +1,21 @@
-"""Engine hot-path microbenchmark: scalar vs bulk-frontier wall-clock.
+"""Engine hot-path microbenchmark: scalar vs bulk wall-clock.
 
-Times the vertex-centric engine's two execution paths on the same
-programs and graph, verifies their bit-identical parity while doing so,
-and records the speedups in ``benchmarks/out/BENCH_engine_hotpath.json``
-so the fast path's advantage is tracked release over release.
+Times the vertex-centric engine's two execution paths (scalar vs
+bulk-frontier) and the edge-centric GAS engine's two paths (scalar vs
+bulk GAS) on the same programs and graph, verifies their bit-identical
+parity while doing so, and records the speedups in
+``benchmarks/out/BENCH_engine_hotpath.json`` so the fast paths'
+advantage is tracked release over release.
 
 Runs two ways:
 
 * under pytest (the benchmark suite): S8-scale catalog graph, asserts
-  the >= 3x PageRank speedup the fast path exists to deliver;
+  the >= 3x vertex-centric and >= 5x edge-centric PageRank speedups the
+  fast paths exist to deliver;
 * as a script — ``python benchmarks/bench_engine_hotpath.py [--small]``
   — where ``--small`` is the CI smoke mode: a small random graph,
-  parity asserted, no speedup floor (CI machines are noisy).
+  parity asserted, and the bulk paths must at least not be slower than
+  scalar (catches accidental de-vectorization without a noisy floor).
 """
 
 import argparse
@@ -26,6 +30,11 @@ from repro.cluster import NUM_PARTS, TraceRecorder
 from repro.core import random_graph
 from repro.core.partition import hash_partition
 from repro.datagen.catalog import build_dataset
+from repro.platforms.edge_centric.engine import EdgeCentricEngine, EdgePlacement
+from repro.platforms.edge_centric.programs import (
+    PageRankGAS,
+    WCCGAS,
+)
 from repro.platforms.profile import get_profile
 from repro.platforms.vertex_centric.engine import VertexCentricEngine
 from repro.platforms.vertex_centric.programs import (
@@ -35,15 +44,20 @@ from repro.platforms.vertex_centric.programs import (
     WCCHashMinProgram,
 )
 
-PROGRAMS = (
+VERTEX_PROGRAMS = (
     ("pr", lambda: PageRankProgram(iterations=10), "ranks"),
     ("wcc", WCCHashMinProgram, "labels"),
     ("sssp", SSSPProgram, "dist"),
     ("lpa", lambda: LabelPropagationProgram(iterations=10), "labels"),
 )
 
+EDGE_PROGRAMS = (
+    ("pr", lambda: PageRankGAS(iterations=10), "ranks"),
+    ("wcc", WCCGAS, "labels"),
+)
 
-def _timed_run(graph, profile, factory, mode):
+
+def _timed_vertex_run(graph, profile, factory, mode):
     partition = hash_partition(graph, NUM_PARTS)
     recorder = TraceRecorder(NUM_PARTS)
     engine = VertexCentricEngine(
@@ -52,6 +66,19 @@ def _timed_run(graph, profile, factory, mode):
     program = factory()
     start = time.perf_counter()
     engine.run(program, max_supersteps=graph.num_vertices + 2)
+    elapsed = time.perf_counter() - start
+    return elapsed, recorder.trace, program
+
+
+def _timed_edge_run(graph, profile, factory, mode):
+    placement = EdgePlacement(graph, NUM_PARTS)
+    recorder = TraceRecorder(NUM_PARTS)
+    engine = EdgeCentricEngine(
+        graph, placement, recorder, profile, mode=mode
+    )
+    program = factory()
+    start = time.perf_counter()
+    engine.run(program, max_iterations=graph.num_vertices + 12)
     elapsed = time.perf_counter() - start
     return elapsed, recorder.trace, program
 
@@ -65,37 +92,49 @@ def _traces_identical(a, b):
     )
 
 
-def run_hotpath(*, small: bool = False) -> dict:
-    """Time both paths per program; verify parity; persist the JSON."""
-    if small:
-        graph, graph_name = random_graph(200, 800, seed=11), "random-200"
-    else:
-        graph, graph_name = build_dataset("S8-Std").graph, "S8-Std"
-    profile = get_profile("Flash")
-
-    results: dict = {
-        "graph": graph_name,
-        "num_vertices": graph.num_vertices,
-        "num_edges": graph.num_edges,
-        "profile": profile.name,
-        "programs": {},
-    }
-    for name, factory, state_attr in PROGRAMS:
-        t_scalar, trace_s, prog_s = _timed_run(graph, profile, factory, "scalar")
-        t_bulk, trace_b, prog_b = _timed_run(graph, profile, factory, "bulk")
+def _bench_engine(graph, profile, programs, timed_run) -> dict:
+    section: dict = {"profile": profile.name, "programs": {}}
+    for name, factory, state_attr in programs:
+        t_scalar, trace_s, prog_s = timed_run(graph, profile, factory, "scalar")
+        t_bulk, trace_b, prog_b = timed_run(graph, profile, factory, "bulk")
         if not np.array_equal(
             getattr(prog_s, state_attr), getattr(prog_b, state_attr)
         ):
             raise AssertionError(f"{name}: scalar/bulk results diverge")
         if not _traces_identical(trace_s, trace_b):
             raise AssertionError(f"{name}: scalar/bulk WorkTraces diverge")
-        results["programs"][name] = {
+        section["programs"][name] = {
             "scalar_seconds": t_scalar,
             "bulk_seconds": t_bulk,
             "speedup": t_scalar / t_bulk if t_bulk > 0 else float("inf"),
             "supersteps": trace_s.supersteps,
             "messages": trace_s.total_messages,
         }
+    return section
+
+
+def run_hotpath(*, small: bool = False) -> dict:
+    """Time both paths of both engines; verify parity; persist the JSON."""
+    if small:
+        graph, graph_name = random_graph(200, 800, seed=11), "random-200"
+    else:
+        graph, graph_name = build_dataset("S8-Std").graph, "S8-Std"
+
+    results: dict = {
+        "graph": graph_name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+    }
+    vertex = _bench_engine(
+        graph, get_profile("Flash"), VERTEX_PROGRAMS, _timed_vertex_run
+    )
+    edge = _bench_engine(
+        graph, get_profile("PowerGraph"), EDGE_PROGRAMS, _timed_edge_run
+    )
+    results["engines"] = {"vertex-centric": vertex, "edge-centric": edge}
+    # Kept for consumers of the original layout (vertex-centric rows).
+    results["profile"] = vertex["profile"]
+    results["programs"] = vertex["programs"]
 
     out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -104,36 +143,56 @@ def run_hotpath(*, small: bool = False) -> dict:
 
     print(f"engine hot path on {graph_name} "
           f"({graph.num_vertices} vertices, {graph.num_edges} edges):")
-    for name, row in results["programs"].items():
-        print(f"  {name:5s} scalar {row['scalar_seconds']:.3f}s  "
-              f"bulk {row['bulk_seconds']:.3f}s  "
-              f"speedup {row['speedup']:.1f}x  "
-              f"({row['supersteps']} supersteps)")
+    for engine_name, section in results["engines"].items():
+        print(f"  {engine_name} ({section['profile']}):")
+        for name, row in section["programs"].items():
+            print(f"    {name:5s} scalar {row['scalar_seconds']:.3f}s  "
+                  f"bulk {row['bulk_seconds']:.3f}s  "
+                  f"speedup {row['speedup']:.1f}x  "
+                  f"({row['supersteps']} supersteps)")
     print(f"wrote {path}")
     return results
 
 
 def test_engine_hotpath(regen):
-    """The bulk path must beat the scalar path by >= 3x on PageRank at
-    S8 scale (parity is asserted inside the run)."""
+    """The bulk paths must beat scalar by >= 3x (vertex-centric) and
+    >= 5x (edge-centric GAS) on PageRank at S8 scale (parity is
+    asserted inside the run)."""
     results = regen(lambda: run_hotpath())
-    assert results["programs"]["pr"]["speedup"] >= 3.0
+    engines = results["engines"]
+    assert engines["vertex-centric"]["programs"]["pr"]["speedup"] >= 3.0
+    assert engines["edge-centric"]["programs"]["pr"]["speedup"] >= 5.0
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--small", action="store_true",
-        help="CI smoke mode: small graph, parity only, no speedup floor",
+        help="CI smoke mode: small graph, parity asserted, bulk must "
+             "not be slower than scalar",
     )
     args = parser.parse_args()
     results = run_hotpath(small=args.small)
-    if not args.small:
-        speedup = results["programs"]["pr"]["speedup"]
-        if speedup < 3.0:
-            raise SystemExit(
-                f"PageRank bulk speedup {speedup:.2f}x below the 3x floor"
-            )
+    failures = []
+    for engine_name, section in results["engines"].items():
+        speedup = section["programs"]["pr"]["speedup"]
+        if args.small:
+            # De-vectorization guard: even on a tiny graph the bulk
+            # path must not lose to the scalar one.
+            if speedup < 1.0:
+                failures.append(
+                    f"{engine_name}: bulk PageRank slower than scalar "
+                    f"({speedup:.2f}x)"
+                )
+        else:
+            floor = 3.0 if engine_name == "vertex-centric" else 5.0
+            if speedup < floor:
+                failures.append(
+                    f"{engine_name}: PageRank bulk speedup {speedup:.2f}x "
+                    f"below the {floor:.0f}x floor"
+                )
+    if failures:
+        raise SystemExit("; ".join(failures))
 
 
 if __name__ == "__main__":

@@ -24,7 +24,13 @@ __all__ = ["RunMetrics"]
 
 @dataclass(frozen=True)
 class RunMetrics:
-    """Simulated timing breakdown of one platform/algorithm/dataset run."""
+    """Simulated timing breakdown of one platform/algorithm/dataset run.
+
+    Every field derives from the run's ``WorkTrace``, which the engines
+    meter identically on their scalar and vectorized bulk paths (the
+    bulk paths feed the same ``TraceRecorder`` sites in per-part /
+    per-pair blocks), so metrics are execution-path invariant.
+    """
 
     upload_seconds: float
     run_seconds: float

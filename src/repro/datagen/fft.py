@@ -192,52 +192,92 @@ class FFTDG:
 
     # ------------------------------------------------------------------
 
-    def _sample_edges(self) -> tuple[list[int], list[int], TrialCounter]:
-        """Stage 3: failure-free edge sampling over homophily positions."""
+    #: sources sampled per vectorized round (one gap draw each)
+    _CHUNK = 65536
+
+    def _sample_edges(self) -> tuple[np.ndarray, np.ndarray, TrialCounter]:
+        """Stage 3: failure-free edge sampling over homophily positions.
+
+        Sources are processed in chunks; each vectorized round draws one
+        gap per still-walking source, emits the in-range edges, and
+        drops the sources whose walk overran their group (round-major
+        rather than the naive source-major order, so every
+        ``_DrawBuffer`` batch feeds ~64k gap computations at once).
+        """
         cfg = self.config
         n = cfg.num_vertices
         counter = TrialCounter()
-        src: list[int] = []
-        dst: list[int] = []
+        empty = np.empty(0, dtype=np.int64)
         if n < 2:
-            return src, dst, counter
+            return empty, empty, counter
 
         group_size = cfg.group_size
         target = cfg.target_edges if cfg.target_edges is not None else -1
+        src_chunks: list[np.ndarray] = []
+        dst_chunks: list[np.ndarray] = []
+        emitted = 0
 
         if cfg.connect_path:
             # Adjacent edges guarantee global connectivity (Fig. 3).
-            src.extend(range(n - 1))
-            dst.extend(range(1, n))
-            if target >= 0 and len(src) >= target:
-                return src[:target], dst[:target], counter
+            path = np.arange(n - 1, dtype=np.int64)
+            if 0 <= target <= n - 1:
+                return path[:target], path[:target] + 1, counter
+            src_chunks.append(path)
+            dst_chunks.append(path + 1)
+            emitted = n - 1
 
         rng = np.random.default_rng(cfg.seed + 1)
         draws = _DrawBuffer(rng)
         alpha = cfg.alpha
+        c0 = cfg.c0
+        done = False
 
-        for i in range(n - 1):
-            group_end = n if cfg.group_count == 1 else min(
-                n, (i // group_size + 1) * group_size
+        for lo in range(0, n - 1, self._CHUNK):
+            if done:
+                break
+            sources = np.arange(
+                lo, min(n - 1, lo + self._CHUNK), dtype=np.int64
             )
-            c = cfg.c0
-            j = i
-            while True:
-                f = draws.next()
-                gap = int((1.0 / f - 1.0) * (c / alpha)) + 1
-                k = j + gap
-                if k >= group_end:
-                    # Terminating draw: the only "failure" FFT-DG makes.
-                    counter.record_trial(False)
+            if cfg.group_count == 1:
+                group_end = np.full(sources.size, n, dtype=np.int64)
+            else:
+                group_end = np.minimum(
+                    n, (sources // group_size + 1) * group_size
+                )
+            pos = sources.copy()
+            c = np.full(sources.size, c0, dtype=np.float64)
+
+            while sources.size:
+                f = draws.take(sources.size)
+                # Clip before the int conversion: a tiny f with a large
+                # c can exceed the int64 range, and any such gap
+                # overruns the group anyway.
+                gap_f = np.minimum((1.0 / f - 1.0) * (c / alpha), 1e18)
+                k = pos + gap_f.astype(np.int64) + 1
+                ok = k < group_end
+                hits = int(ok.sum())
+                # One trial per draw; overruns are the terminators — the
+                # only "failures" FFT-DG makes.
+                counter.trials += int(sources.size)
+                take = hits
+                if target >= 0 and emitted + hits >= target:
+                    take = target - emitted
+                    done = True
+                counter.edges += take
+                if take:
+                    src_chunks.append(sources[ok][:take])
+                    dst_chunks.append(k[ok][:take])
+                    emitted += take
+                if done:
                     break
-                counter.record_trial(True)
-                src.append(i)
-                dst.append(k)
-                c = cfg.c0 + (k - i)
-                j = k
-                if target >= 0 and len(src) >= target:
-                    return src, dst, counter
-        return src, dst, counter
+                sources = sources[ok]
+                pos = k[ok]
+                group_end = group_end[ok]
+                c = c0 + (pos - sources)
+
+        if not src_chunks:
+            return empty, empty, counter
+        return np.concatenate(src_chunks), np.concatenate(dst_chunks), counter
 
 
 class _DrawBuffer:
@@ -257,6 +297,23 @@ class _DrawBuffer:
         self._cursor += 1
         # Map [0, 1) to (0, 1]: f = 1 - value keeps 0 excluded.
         return 1.0 - value
+
+    def take(self, count: int) -> np.ndarray:
+        """``count`` draws at once, consuming the same stream ``next``
+        reads (refills happen at the same 64k boundaries)."""
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            if self._cursor >= self._size:
+                self._buffer = self._rng.random(self._size)
+                self._cursor = 0
+            avail = min(self._size - self._cursor, count - filled)
+            out[filled:filled + avail] = self._buffer[
+                self._cursor:self._cursor + avail
+            ]
+            self._cursor += avail
+            filled += avail
+        return 1.0 - out
 
 
 def calibrate_alpha(

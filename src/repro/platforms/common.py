@@ -7,10 +7,36 @@ import numpy as np
 from repro.core.graph import Graph
 
 __all__ = [
+    "expand_segments",
     "forward_adjacency",
     "vertex_order_positions",
     "adjacency_shipping_bytes",
 ]
+
+
+def expand_segments(
+    indptr: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand the CSR segments of ``ids`` into flat slot arrays.
+
+    Returns ``(slots, owner_pos, counts)``: the flat CSR slot index of
+    every element in every selected segment (segments concatenated in
+    ``ids`` order), the position *within ``ids``* owning each slot, and
+    the per-id segment lengths.  This is the shared frontier-expansion
+    primitive of the vectorized engine paths — one `np.repeat`-based
+    gather instead of a per-vertex slicing loop.
+    """
+    counts = indptr[ids + 1] - indptr[ids]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), counts
+    starts = np.repeat(indptr[ids], counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    slots = starts + offsets
+    owner_pos = np.repeat(np.arange(ids.shape[0], dtype=np.int64), counts)
+    return slots, owner_pos, counts
 
 
 def vertex_order_positions(graph: Graph) -> np.ndarray:

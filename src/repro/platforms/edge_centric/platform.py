@@ -69,7 +69,13 @@ class EdgeCentricPlatform(Platform):
         params: dict,
     ) -> Any:
         placement = EdgePlacement(graph, NUM_PARTS)
-        engine = EdgeCentricEngine(graph, placement, recorder, self.profile)
+        # "auto" routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
+        # through the vectorized bulk GAS path; "scalar"/"bulk" force
+        # one path (the parity tests diff the two).
+        mode = params.pop("engine_mode", "auto")
+        engine = EdgeCentricEngine(
+            graph, placement, recorder, self.profile, mode=mode
+        )
 
         if algorithm == "pr":
             program = PageRankGAS(

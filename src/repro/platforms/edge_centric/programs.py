@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
-from repro.platforms.edge_centric.engine import GASProgram
+from repro.platforms.edge_centric.engine import BulkGASProgram, GASProgram
 
 __all__ = [
     "PageRankGAS",
@@ -61,9 +61,11 @@ class BFSGAS(GASProgram):
         return False
 
 
-class PageRankGAS(GASProgram):
+class PageRankGAS(BulkGASProgram):
     """Synchronous PageRank: gather neighbour contributions, apply the
     damped update; 10 fixed rounds driven by the master hook."""
+
+    gather_mode = "sum"
 
     def __init__(self, *, damping: float = 0.85, iterations: int = 10) -> None:
         self.damping = damping
@@ -112,11 +114,32 @@ class PageRankGAS(GASProgram):
     def scatter(self, v: int) -> bool:
         return False  # activation is master-driven
 
+    # -- bulk path -----------------------------------------------------
 
-class LabelPropagationGAS(GASProgram):
+    def gather_bulk(self, sources, weights):
+        d = self._degrees[sources]
+        safe = np.where(d > 0, d, 1.0)
+        return np.where(d > 0, self._prev[sources] / safe, 0.0)
+
+    def apply_bulk(self, vertices, acc, gathered):
+        # Identical expression to the scalar apply (acc is 0.0 where
+        # nothing gathered, standing in for the scalar None -> 0.0).
+        self.ranks[vertices] = (
+            (1.0 - self.damping) / self._n
+            + self.damping * acc
+            + self.damping * self._dangling_sum / self._n
+        )
+        return np.ones(vertices.size, dtype=bool)
+
+    def scatter_bulk(self, vertices):
+        return np.zeros(vertices.size, dtype=bool)
+
+
+class LabelPropagationGAS(BulkGASProgram):
     """Synchronous LPA: gather a label multiset, apply the majority."""
 
     message_bytes = 24.0  # partial label histograms
+    gather_mode = "majority"
 
     def __init__(self, *, iterations: int = 10) -> None:
         self.iterations = iterations
@@ -162,14 +185,35 @@ class LabelPropagationGAS(GASProgram):
     def scatter(self, v: int) -> bool:
         return False
 
+    # -- bulk path -----------------------------------------------------
 
-class SSSPGAS(GASProgram):
-    """SSSP as asynchronous-style min relaxation (monotone, so it
-    converges to the Dijkstra fixpoint)."""
+    def gather_bulk(self, sources, weights):
+        return self._prev[sources]
+
+    def apply_bulk(self, vertices, acc, gathered):
+        update = gathered & (acc != self.labels[vertices])
+        if update.any():
+            self.labels[vertices[update]] = acc[update]
+            self._changed = True
+        # Like the scalar apply, never report a change: LPA neither
+        # syncs replicas nor drives activation (master-scheduled).
+        return np.zeros(vertices.size, dtype=bool)
+
+
+class SSSPGAS(BulkGASProgram):
+    """SSSP as synchronous min relaxation over the frontier (monotone,
+    so it converges to the Dijkstra fixpoint).
+
+    Gathers read the previous iteration's snapshot, which keeps the
+    scalar and bulk paths on the same relaxation schedule (and hence
+    bit-identical WorkTraces)."""
+
+    gather_mode = "min"
 
     def __init__(self, source: int = 0) -> None:
         self.source = source
         self.dist: np.ndarray | None = None
+        self._prev: np.ndarray | None = None
 
     def setup(self, graph: Graph) -> None:
         n = graph.num_vertices
@@ -181,8 +225,13 @@ class SSSPGAS(GASProgram):
     def initial_active(self, graph: Graph) -> Iterable[int]:
         return graph.neighbors(self.source).tolist()
 
+    def before_iteration(self, iteration: int):
+        # Synchronous snapshot: gathers read last iteration's distances.
+        self._prev = self.dist.copy()
+        return None
+
     def gather(self, u: int, v: int, weight: float):
-        return self.dist[u] + weight
+        return self._prev[u] + weight
 
     def merge(self, a, b):
         return a if a < b else b
@@ -193,22 +242,43 @@ class SSSPGAS(GASProgram):
             return True
         return False
 
+    # -- bulk path -----------------------------------------------------
 
-class WCCGAS(GASProgram):
+    def gather_bulk(self, sources, weights):
+        if weights is None:
+            return self._prev[sources] + 1.0
+        return self._prev[sources] + weights
+
+    def apply_bulk(self, vertices, acc, gathered):
+        changed = gathered & (acc < self.dist[vertices])
+        self.dist[vertices[changed]] = acc[changed]
+        return changed
+
+
+class WCCGAS(BulkGASProgram):
     """HashMin components: gather the minimum neighbour label.
 
-    Iterations grow with the diameter — the edge-centric model cannot
-    message non-neighbours, so no pointer jumping (Section 8.2).
+    Gathers read the previous iteration's snapshot (synchronous
+    HashMin), so labels spread one hop per iteration on both execution
+    paths.  Iterations grow with the diameter — the edge-centric model
+    cannot message non-neighbours, so no pointer jumping (Section 8.2).
     """
+
+    gather_mode = "min"
 
     def __init__(self) -> None:
         self.labels: np.ndarray | None = None
+        self._prev: np.ndarray | None = None
 
     def setup(self, graph: Graph) -> None:
         self.labels = np.arange(graph.num_vertices, dtype=np.int64)
 
+    def before_iteration(self, iteration: int):
+        self._prev = self.labels.copy()
+        return None
+
     def gather(self, u: int, v: int, weight: float):
-        return int(self.labels[u])
+        return int(self._prev[u])
 
     def merge(self, a, b):
         return a if a < b else b
@@ -218,6 +288,16 @@ class WCCGAS(GASProgram):
             self.labels[v] = acc
             return True
         return False
+
+    # -- bulk path -----------------------------------------------------
+
+    def gather_bulk(self, sources, weights):
+        return self._prev[sources]
+
+    def apply_bulk(self, vertices, acc, gathered):
+        changed = gathered & (acc < self.labels[vertices])
+        self.labels[vertices[changed]] = acc[changed]
+        return changed
 
 
 class BCForwardGAS(GASProgram):

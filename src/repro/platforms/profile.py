@@ -57,9 +57,10 @@ class PlatformProfile:
     single_machine_only:
         Ligra: shared memory only; running on >1 machine is an error.
     bulk_frontier:
-        Let the vertex-centric engine's ``auto`` mode take the
-        vectorized bulk-frontier path for programs that implement it
-        (parity-guaranteed with the scalar path, so on by default);
+        Let the vertex-centric and edge-centric engines' ``auto`` mode
+        take their vectorized bulk paths for programs that implement
+        them (parity-guaranteed with the scalar paths, so on by
+        default);
         set ``False`` to pin a platform to the scalar path — an
         ablation/debugging knob, not a modelled platform feature.
     partition_strategy:

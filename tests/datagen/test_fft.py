@@ -123,3 +123,73 @@ class TestCalibration:
     def test_calibrate_rejects_bad_target(self):
         with pytest.raises(GeneratorParameterError):
             calibrate_alpha(100, -1.0)
+
+
+class TestDrawBuffer:
+    """The batched draw stream must be seamless across the 64k refill."""
+
+    def _buffers(self):
+        from repro.datagen.fft import _DrawBuffer
+
+        return (
+            _DrawBuffer(np.random.default_rng(9)),
+            _DrawBuffer(np.random.default_rng(9)),
+        )
+
+    def test_take_refills_at_exact_boundary(self):
+        a, b = self._buffers()
+        head = a.take(65536)          # drains the buffer exactly
+        tail = a.take(3)              # forces a refill
+        merged = b.take(65539)        # crosses the boundary in one call
+        assert np.array_equal(np.concatenate([head, tail]), merged)
+
+    def test_take_matches_scalar_next(self):
+        a, b = self._buffers()
+        scalars = np.array([a.next() for _ in range(100)])
+        assert np.array_equal(scalars, b.take(100))
+
+    def test_next_after_boundary_take(self):
+        a, b = self._buffers()
+        a.take(65536)
+        merged = b.take(65537)
+        assert a.next() == merged[-1]
+
+    def test_draws_exclude_zero(self):
+        a, _ = self._buffers()
+        draws = a.take(200000)
+        assert (draws > 0.0).all() and (draws <= 1.0).all()
+
+
+class TestTargetEdgesTruncation:
+    def test_truncates_mid_group(self):
+        # 4 groups of 20; the cap lands inside the sampling stage, so
+        # the walk stops mid-group with exactly the requested count.
+        target = 100
+        cfg = FFTDGConfig(
+            num_vertices=80, alpha=50.0, group_count=4,
+            target_edges=target, use_homophily_order=False, seed=2,
+        )
+        src, dst, counter = FFTDG(cfg)._sample_edges()
+        assert src.shape[0] == target and dst.shape[0] == target
+        # the path edges come first, then sampled in-group edges
+        n_path = 79
+        assert counter.edges == target - n_path
+        sampled_src, sampled_dst = src[n_path:], dst[n_path:]
+        assert (sampled_src // 20 == sampled_dst // 20).all()
+        assert (sampled_dst > sampled_src).all()
+
+    def test_truncates_within_path(self):
+        cfg = FFTDGConfig(
+            num_vertices=80, alpha=50.0, target_edges=10,
+            use_homophily_order=False, seed=2,
+        )
+        src, dst, counter = FFTDG(cfg)._sample_edges()
+        assert np.array_equal(src, np.arange(10))
+        assert np.array_equal(dst, np.arange(1, 11))
+        assert counter.trials == 0  # no draws were needed
+
+    def test_graph_respects_cap(self):
+        result = generate_fft(500, alpha=100.0, target_edges=300, seed=4)
+        assert result.graph.num_edges <= 300
+        # cap below the path length: no sampling draws happened at all
+        assert result.counter.edges == 0
