@@ -7,6 +7,9 @@ Top-level packages:
 * :mod:`repro.datagen` — FFT-DG (the paper's failure-free-trial generator),
   LDBC-DG, classic generators, and the S8–S10 dataset catalog.
 * :mod:`repro.cluster` — the simulated cluster and its cost model.
+* :mod:`repro.faults` — deterministic fault injection: seeded crash /
+  straggler / retransmission schedules, superstep checkpointing, and
+  priced recovery.
 * :mod:`repro.platforms` — vertex-, edge-, block-, and subgraph-centric
   engines with seven platform personalities.
 * :mod:`repro.algorithms` — the eight core algorithms (reference kernels

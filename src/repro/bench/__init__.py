@@ -10,6 +10,8 @@ reporting, and the ``repro-bench`` CLI.
 
 from repro.bench.runner import (
     RED_BAR_CASES,
+    RETRY_BACKOFF_SECONDS,
+    RETRY_LIMIT,
     CaseOutcome,
     clear_case_cache,
     run_case,
@@ -18,6 +20,8 @@ from repro.bench.reporting import emit, render_series, render_table
 
 __all__ = [
     "RED_BAR_CASES",
+    "RETRY_LIMIT",
+    "RETRY_BACKOFF_SECONDS",
     "CaseOutcome",
     "run_case",
     "clear_case_cache",

@@ -342,6 +342,33 @@ def _ablations(args) -> None:
     emit("ablations", "\n".join(blocks))
 
 
+def _faults(args) -> None:
+    from repro.bench import faults_exp
+
+    blocks = []
+    overhead = faults_exp.checkpoint_overhead_curve()
+    blocks.append(render_table(
+        "Faults: checkpoint overhead (Pregel+ PR on S8-Std, 4 machines, "
+        "no crash)",
+        ["Interval", "Checkpoints", "Checkpoint (s)", "Total (s)",
+         "Overhead (%)"],
+        [[r["interval"], r["checkpoints"], round(r["checkpoint_s"], 4),
+          round(r["total_s"], 3), round(r["overhead_pct"], 2)]
+         for r in overhead],
+    ))
+    recovery = faults_exp.recovery_time_curve()
+    blocks.append(render_table(
+        "Faults: recovery time (crash at superstep 5, machine 1)",
+        ["Interval", "Replayed", "Checkpoint (s)", "Recovery (s)",
+         "Total (s)", "Failure-free (s)"],
+        [[r["interval"], r["replayed_steps"], round(r["checkpoint_s"], 4),
+          round(r["recovery_s"], 3), round(r["total_s"], 3),
+          round(r["failure_free_s"], 3)]
+         for r in recovery],
+    ))
+    emit("faults", "\n".join(blocks))
+
+
 def _fig14(args) -> None:
     guide = selection.build_selection_guide()
     rows = [
@@ -374,6 +401,7 @@ _COMMANDS = {
     "fig13": _fig13,
     "fig14": _fig14,
     "ablations": _ablations,
+    "faults": _faults,
     "graph500": _graph500,
     "dynamic": _dynamic,
 }

@@ -1,0 +1,103 @@
+"""Fault-tolerance experiments: checkpoint overhead and recovery time.
+
+Neither curve exists in the paper — its 16-machine testbed is implicitly
+failure-free — but every platform it benchmarks ships superstep
+checkpointing, and the classic trade-off the curves expose is standard
+BSP lore: frequent checkpoints cost steady-state time but bound the work
+a crash destroys, so recovery time falls as checkpoint time rises.
+
+Both experiments run a real algorithm under :mod:`repro.faults`
+schedules and read the priced checkpoint/recovery terms off the run's
+:class:`~repro.cluster.metrics.RunMetrics`; everything is seeded and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import scale_out
+from repro.datagen.catalog import build_dataset
+from repro.faults import FaultSchedule, MachineCrash
+from repro.platforms.registry import get_platform
+
+__all__ = ["checkpoint_overhead_curve", "recovery_time_curve"]
+
+#: A crash scheduled far beyond any run's superstep count: it never
+#: fires, but its presence makes the schedule non-empty so the runtime
+#: writes checkpoints — the steady-state cost of *being protected*.
+_NEVER = 10**6
+
+
+def checkpoint_overhead_curve(
+    *,
+    dataset: str = "S8-Std",
+    platform_name: str = "Pregel+",
+    algorithm: str = "pr",
+    machines: int = 4,
+    intervals: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[dict[str, float]]:
+    """Failure-free cost of checkpointing at each interval.
+
+    The schedule holds one crash that never fires (superstep ``10**6``),
+    so runs pay for checkpoint writes but never recover.  Each row
+    reports the checkpoint seconds, the total run seconds, and the
+    overhead relative to the unprotected baseline.
+    """
+    graph = build_dataset(dataset).graph
+    cluster = scale_out(machines)
+    platform = get_platform(platform_name)
+    baseline = platform.run(algorithm, graph, cluster).priced.seconds
+    rows = []
+    schedule = FaultSchedule(crashes=(MachineCrash(superstep=_NEVER, machine=0),))
+    for interval in intervals:
+        run = platform.run(
+            algorithm, graph, cluster,
+            fault_schedule=schedule, checkpoint_interval=interval,
+        )
+        rows.append({
+            "interval": float(interval),
+            "checkpoints": float(len(run.timeline.checkpoints)),
+            "checkpoint_s": run.priced.checkpoint_seconds,
+            "total_s": run.priced.seconds,
+            "overhead_pct": 100.0 * (run.priced.seconds - baseline) / baseline,
+        })
+    return rows
+
+
+def recovery_time_curve(
+    *,
+    dataset: str = "S8-Std",
+    platform_name: str = "Pregel+",
+    algorithm: str = "pr",
+    machines: int = 4,
+    crash_superstep: int = 5,
+    crash_machine: int = 1,
+    intervals: tuple[int, ...] = (1, 2, 4, 8),
+) -> list[dict[str, float]]:
+    """Recovery cost of one mid-run crash at each checkpoint interval.
+
+    A single machine dies at a fixed superstep; sweeping the interval
+    trades checkpoint writes against replayed supersteps (long intervals
+    lose more work per crash).  Rows report both terms plus the faulted
+    and failure-free totals side by side.
+    """
+    graph = build_dataset(dataset).graph
+    cluster = scale_out(machines)
+    platform = get_platform(platform_name)
+    schedule = FaultSchedule(
+        crashes=(MachineCrash(superstep=crash_superstep, machine=crash_machine),)
+    )
+    rows = []
+    for interval in intervals:
+        run = platform.run(
+            algorithm, graph, cluster,
+            fault_schedule=schedule, checkpoint_interval=interval,
+        )
+        rows.append({
+            "interval": float(interval),
+            "replayed_steps": float(run.timeline.replayed_steps()),
+            "checkpoint_s": run.priced.checkpoint_seconds,
+            "recovery_s": run.priced.recovery_seconds,
+            "total_s": run.priced.seconds,
+            "failure_free_s": run.metrics.failure_free_run_seconds,
+        })
+    return rows

@@ -17,17 +17,38 @@ successful runs, ``upload``/``run``/``writeback`` phase spans in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.cluster.spec import ClusterSpec, single_machine
 from repro.core.graph import Graph
 from repro.datagen.catalog import build_dataset
-from repro.errors import OutOfMemoryError, PlatformError, UnsupportedAlgorithmError
-from repro.obs import CASE_CACHE_HITS, CASES_RUN, get_tracer
+from repro.errors import (
+    OutOfMemoryError,
+    PlatformError,
+    TransientFaultError,
+    UnsupportedAlgorithmError,
+)
+from repro.obs import CASE_CACHE_HITS, CASE_RETRIES, CASES_RUN, get_tracer
 from repro.platforms.base import PlatformRunResult
 from repro.platforms.registry import get_platform
 
-__all__ = ["CaseOutcome", "run_case", "clear_case_cache", "RED_BAR_CASES"]
+__all__ = [
+    "CaseOutcome",
+    "run_case",
+    "clear_case_cache",
+    "RED_BAR_CASES",
+    "RETRY_LIMIT",
+    "RETRY_BACKOFF_SECONDS",
+]
+
+#: Maximum retries after a :class:`~repro.errors.TransientFaultError`
+#: (so a case is attempted at most ``RETRY_LIMIT + 1`` times).
+RETRY_LIMIT = 3
+
+#: Simulated backoff before retry ``k`` (0-based): ``0.5 * 2**k`` seconds
+#: of exponential backoff, accumulated on the outcome — simulated time,
+#: never a real sleep.
+RETRY_BACKOFF_SECONDS = 0.5
 
 #: Cases the paper runs on 16 machines instead of one because the
 #: platform is too slow or memory-hungry on a single machine (the red
@@ -46,15 +67,23 @@ RED_BAR_CASES: frozenset[tuple[str, str]] = frozenset(
 
 @dataclass(frozen=True)
 class CaseOutcome:
-    """Result (or structured failure) of one benchmark case."""
+    """Result (or structured failure) of one benchmark case.
+
+    ``attempts`` counts platform-run attempts (1 when the first try
+    succeeded); ``retry_backoff_seconds`` is the simulated exponential
+    backoff spent on transient-fault retries.  ``status`` is
+    ``"transient"`` when the retry budget was exhausted.
+    """
 
     platform: str
     algorithm: str
     dataset: str
-    status: str                       # "ok" | "unsupported" | "oom" | "error"
+    status: str          # "ok" | "unsupported" | "oom" | "error" | "transient"
     result: PlatformRunResult | None
     detail: str = ""
     red_bar: bool = False
+    attempts: int = 1
+    retry_backoff_seconds: float = 0.0
 
     @property
     def seconds(self) -> float | None:
@@ -87,11 +116,9 @@ def run_case(
     cluster = cluster or single_machine(32)
     red_bar = False
     if apply_red_bar and (platform.name, algorithm) in RED_BAR_CASES:
-        cluster = ClusterSpec(
-            machines=16,
-            threads_per_machine=cluster.threads_per_machine,
-            memory_per_machine_bytes=cluster.memory_per_machine_bytes,
-        )
+        # Promote to 16 machines keeping every other knob of the
+        # caller's spec (bandwidths, latencies, disk) intact.
+        cluster = replace(cluster, machines=16)
         red_bar = True
 
     key = (platform.name, algorithm, dataset, cluster, scale_divisor,
@@ -136,24 +163,50 @@ def run_case(
                                category="simulated")
             tracer.record_span("writeback", metrics.writeback_seconds,
                                category="simulated")
+            if metrics.checkpoint_seconds > 0:
+                tracer.record_span("checkpoint", metrics.checkpoint_seconds,
+                                   category="simulated")
+            if metrics.recovery_seconds > 0:
+                tracer.record_span("recovery", metrics.recovery_seconds,
+                                   category="simulated")
     _CASE_CACHE[key] = outcome
     return outcome
 
 
 def _execute(platform, algorithm, dataset, graph, cluster, red_bar, params):
-    try:
-        result = platform.run(algorithm, graph, cluster, **params)
-    except UnsupportedAlgorithmError as exc:
-        return CaseOutcome(platform.name, algorithm, dataset,
-                           "unsupported", None, str(exc), red_bar)
-    except OutOfMemoryError as exc:
-        return CaseOutcome(platform.name, algorithm, dataset,
-                           "oom", None, str(exc), red_bar)
-    except PlatformError as exc:
-        return CaseOutcome(platform.name, algorithm, dataset,
-                           "error", None, str(exc), red_bar)
-    return CaseOutcome(platform.name, algorithm, dataset, "ok", result,
-                       red_bar=red_bar)
+    tracer = get_tracer()
+    backoff = 0.0
+    attempts = 0
+    for attempt in range(RETRY_LIMIT + 1):
+        attempts = attempt + 1
+        try:
+            result = platform.run(
+                algorithm, graph, cluster, attempt=attempt, **params
+            )
+        except TransientFaultError as exc:
+            # Simulated exponential backoff, then retry the submission.
+            backoff += RETRY_BACKOFF_SECONDS * 2 ** attempt
+            if tracer.enabled:
+                tracer.add(CASE_RETRIES, 1.0)
+            last_transient = str(exc)
+            continue
+        except UnsupportedAlgorithmError as exc:
+            return CaseOutcome(platform.name, algorithm, dataset,
+                               "unsupported", None, str(exc), red_bar,
+                               attempts, backoff)
+        except OutOfMemoryError as exc:
+            return CaseOutcome(platform.name, algorithm, dataset,
+                               "oom", None, str(exc), red_bar,
+                               attempts, backoff)
+        except PlatformError as exc:
+            return CaseOutcome(platform.name, algorithm, dataset,
+                               "error", None, str(exc), red_bar,
+                               attempts, backoff)
+        return CaseOutcome(platform.name, algorithm, dataset, "ok", result,
+                           red_bar=red_bar, attempts=attempts,
+                           retry_backoff_seconds=backoff)
+    return CaseOutcome(platform.name, algorithm, dataset, "transient", None,
+                       last_transient, red_bar, attempts, backoff)
 
 
 def clear_case_cache() -> None:

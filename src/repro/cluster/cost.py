@@ -159,13 +159,22 @@ class WorkTrace:
 
 
 class TraceRecorder:
-    """Accumulates a :class:`WorkTrace` during engine execution."""
+    """Accumulates a :class:`WorkTrace` during engine execution.
+
+    When a run carries a fault schedule, the platform attaches a
+    :class:`repro.faults.FaultRuntime` (via its ``attach`` method, which
+    sets :attr:`faults`); every sealed superstep is then reported to the
+    runtime so crashes fire at the correct barriers even for engines
+    without a central superstep loop.
+    """
 
     def __init__(self, parts: int = NUM_PARTS) -> None:
         if parts < 1:
             raise ClusterConfigError(f"parts must be >= 1, got {parts}")
         self.parts = parts
         self.trace = WorkTrace(parts=parts, steps=[])
+        #: the run's fault runtime, if a schedule is attached
+        self.faults = None
         self._ops: np.ndarray | None = None
         self._count: np.ndarray | None = None
         self._bytes: np.ndarray | None = None
@@ -233,6 +242,8 @@ class TraceRecorder:
         tracer = get_tracer()
         if tracer.enabled:
             note_superstep(tracer, record)
+        if self.faults is not None:
+            self.faults.on_sealed()
 
     def _require_open(self) -> None:
         if self._ops is None:
@@ -241,13 +252,23 @@ class TraceRecorder:
 
 @dataclass(frozen=True)
 class PricedRun:
-    """Simulated timing of one trace under one cluster configuration."""
+    """Simulated timing of one trace under one cluster configuration.
+
+    ``checkpoint_seconds`` and ``recovery_seconds`` are zero on
+    failure-free runs; with a fault timeline they hold the checkpoint
+    writes and the failover + state re-placement + replayed work,
+    respectively.  The failure-free phase buckets (compute / network /
+    barrier) never include replayed supersteps — recovery is priced in
+    its own bucket so overhead is directly readable.
+    """
 
     seconds: float
     compute_seconds: float
     network_seconds: float
     barrier_seconds: float
     supersteps: int
+    checkpoint_seconds: float = 0.0
+    recovery_seconds: float = 0.0
 
     def breakdown(self) -> dict[str, float]:
         """Phase breakdown for reporting."""
@@ -256,6 +277,8 @@ class PricedRun:
             "compute_s": self.compute_seconds,
             "network_s": self.network_seconds,
             "barrier_s": self.barrier_seconds,
+            "checkpoint_s": self.checkpoint_seconds,
+            "recovery_s": self.recovery_seconds,
             "supersteps": float(self.supersteps),
         }
 
@@ -271,8 +294,20 @@ def price_trace(
     params: CostParameters,
     *,
     placement: np.ndarray | None = None,
+    faults=None,
 ) -> PricedRun:
-    """Convert a metered trace into simulated seconds under ``spec``."""
+    """Convert a metered trace into simulated seconds under ``spec``.
+
+    ``faults`` is an optional :class:`repro.faults.FaultTimeline`; when
+    given, pricing additionally models checkpoint writes, machine
+    crashes (placement re-assignment onto survivors, failover and
+    restore overhead, replayed supersteps priced into a separate
+    recovery bucket), straggler slowdown windows, and seeded message
+    retransmission.  With ``faults=None`` the arithmetic below is the
+    exact failure-free path, bit-identical to earlier releases.
+    """
+    if faults is not None:
+        return _price_trace_faulted(trace, spec, params, placement, faults)
     machines = spec.machines
     if placement is None:
         placement = part_placement(trace.parts, machines)
@@ -342,6 +377,187 @@ def price_trace(
         network_seconds=network_s,
         barrier_seconds=barrier_s,
         supersteps=trace.supersteps,
+    )
+
+
+def _price_trace_faulted(
+    trace: WorkTrace,
+    spec: ClusterSpec,
+    params: CostParameters,
+    placement: np.ndarray | None,
+    faults,
+) -> PricedRun:
+    """Fault-aware pricing of a trace under a ``FaultTimeline``.
+
+    The per-superstep arithmetic matches :func:`price_trace` exactly;
+    on top of it, in trace order:
+
+    * **checkpoint writes** at their recorded positions —
+      ``checkpoint_bytes`` across the currently alive machines' disks;
+    * **crashes**: the dead machine's parts move round-robin onto the
+      sorted survivors (effective from the first replayed record), the
+      barrier spread and aggregate bandwidth shrink to the survivor
+      count, and a per-crash ``failover + checkpoint restore + lost-part
+      state re-shipment`` overhead lands in the recovery bucket;
+    * **replayed records** (marked by the crash events) are priced with
+      the same formulas but accumulate into ``recovery_seconds`` rather
+      than the failure-free phase buckets;
+    * **stragglers** scale each machine's compute time inside their
+      windows (only binding when the slowed machine is the critical
+      path);
+    * **retransmissions** inflate remote wire bytes and remote-message
+      CPU by a binomial draw keyed on ``(schedule.seed, step index)``.
+    """
+    machines = spec.machines
+    if placement is None:
+        placement = part_placement(trace.parts, machines)
+    elif placement.shape[0] != trace.parts:
+        raise ClusterConfigError(
+            f"placement must cover {trace.parts} parts, got {placement.shape[0]}"
+        )
+    placement = placement.copy()
+
+    schedule = faults.schedule
+    steps = trace.steps
+    n_steps = len(steps)
+    step_supersteps = faults.step_supersteps
+    if len(step_supersteps) != n_steps:
+        raise ClusterConfigError(
+            f"fault timeline records {len(step_supersteps)} sealed steps "
+            f"but the trace has {n_steps}"
+        )
+
+    recovery_mask = np.zeros(max(n_steps, 1), dtype=bool)
+    crashes_at: dict[int, list] = {}
+    for crash in faults.crashes:
+        recovery_mask[crash.trace_index:crash.trace_index + crash.replayed] = True
+        crashes_at.setdefault(crash.trace_index, []).append(crash)
+    checkpoints_at: dict[int, int] = {}
+    for ck in faults.checkpoints:
+        checkpoints_at[ck.trace_index] = checkpoints_at.get(ck.trace_index, 0) + 1
+
+    eff = amdahl_efficiency(spec.threads_per_machine, params.parallel_fraction)
+    alive = np.ones(machines, dtype=bool)
+    same_machine = placement[:, None] == placement[None, :]
+
+    compute_s = network_s = barrier_s = 0.0
+    checkpoint_s = recovery_s = 0.0
+    alive_count = machines
+    per_barrier = (spec.barrier_base_seconds * params.barrier_factor
+                   * (1.0 + float(np.log2(machines))))
+    disk_bw = spec.disk_bandwidth_bytes_per_second
+    ckpt_bytes = float(faults.checkpoint_bytes)
+
+    for t in range(n_steps + 1):
+        # Events anchored at this trace position (writes happen at the
+        # barrier *before* record t is priced; index n_steps catches a
+        # trailing checkpoint after the final superstep).
+        checkpoint_s += checkpoints_at.get(t, 0) * (
+            ckpt_bytes / (alive_count * disk_bw)
+        )
+        for crash in crashes_at.get(t, ()):
+            if crash.machine >= machines or not alive[crash.machine]:
+                continue  # inert under this machine count
+            alive[crash.machine] = False
+            survivors = np.flatnonzero(alive)
+            if survivors.size == 0:
+                raise ClusterConfigError(
+                    "fault timeline kills every machine; nothing left "
+                    "to price recovery on"
+                )
+            lost = np.flatnonzero(placement == crash.machine)
+            placement[lost] = survivors[np.arange(lost.size) % survivors.size]
+            same_machine = placement[:, None] == placement[None, :]
+            alive_count = int(survivors.size)
+            per_barrier = (spec.barrier_base_seconds * params.barrier_factor
+                           * (1.0 + float(np.log2(alive_count))))
+            restore_read = ckpt_bytes / (alive_count * disk_bw)
+            reship = 0.0
+            if lost.size:
+                lost_state = ckpt_bytes * (lost.size / trace.parts)
+                reship = (lost_state / spec.network_bandwidth_bytes_per_second
+                          + spec.network_latency_seconds)
+            recovery_s += spec.failover_seconds + restore_read + reship
+        if t == n_steps:
+            break
+
+        step = steps[t]
+        machine_ops = np.bincount(placement, weights=step.ops,
+                                  minlength=machines)
+
+        local_cnt = np.where(same_machine, step.msg_count, 0.0)
+        remote_cnt = np.where(same_machine, 0.0, step.msg_count)
+        remote_bytes = np.where(same_machine, 0.0, step.msg_bytes)
+
+        local_cpu = local_cnt.sum(axis=1) * params.per_message_cpu_ops
+        machine_ops += np.bincount(placement, weights=local_cpu,
+                                   minlength=machines)
+
+        slow = schedule.slowdown(machines, step_supersteps[t])
+
+        peak_ops = float(machine_ops.max())
+        slack_limit = max(1.0, peak_ops / params.work_granularity_ops)
+        step_eff = min(eff, slack_limit)
+        rate = spec.ops_per_second_per_thread * step_eff
+        peak_eff_ops = (
+            peak_ops if slow is None else float((machine_ops * slow).max())
+        )
+        step_compute = peak_eff_ops * params.compute_multiplier / rate
+
+        remote_total = float(remote_cnt.sum())
+        retrans = 1.0
+        if schedule.retransmit_rate > 0.0 and remote_total > 0:
+            rng = np.random.default_rng((schedule.seed, t))
+            extra = int(rng.binomial(int(remote_total),
+                                     schedule.retransmit_rate))
+            retrans = 1.0 + extra / remote_total
+
+        remote_cpu = params.per_message_cpu_ops * params.remote_message_multiplier
+        send_cpu = remote_cnt.sum(axis=1) * remote_cpu / 2.0
+        recv_cpu = remote_cnt.sum(axis=0) * remote_cpu / 2.0
+        msg_ops = (
+            np.bincount(placement, weights=send_cpu, minlength=machines)
+            + np.bincount(placement, weights=recv_cpu, minlength=machines)
+        )
+        peak_msg_ops = (
+            float(msg_ops.max()) if slow is None
+            else float((msg_ops * slow).max())
+        )
+        if peak_msg_ops > 0:
+            msg_eff = amdahl_efficiency(
+                spec.threads_per_machine, params.remote_parallel_fraction
+            )
+            msg_rate = spec.ops_per_second_per_thread * msg_eff
+            step_compute += (peak_msg_ops * retrans * params.compute_multiplier
+                             / msg_rate)
+
+        wire = float(remote_bytes.sum()) + remote_total * \
+            params.bytes_per_message_overhead
+        wire *= retrans
+        if alive_count > 1:
+            wire += params.broadcast_bytes_per_superstep * (alive_count - 1)
+        step_network = 0.0
+        if wire > 0:
+            aggregate_bw = spec.network_bandwidth_bytes_per_second * alive_count
+            step_network = wire / aggregate_bw + spec.network_latency_seconds
+
+        if recovery_mask[t]:
+            recovery_s += step_compute + step_network + per_barrier
+        else:
+            compute_s += step_compute
+            network_s += step_network
+            barrier_s += per_barrier
+
+    total = (params.startup_seconds + compute_s + network_s + barrier_s
+             + checkpoint_s + recovery_s)
+    return PricedRun(
+        seconds=total,
+        compute_seconds=compute_s,
+        network_seconds=network_s,
+        barrier_seconds=barrier_s,
+        supersteps=trace.supersteps,
+        checkpoint_seconds=checkpoint_s,
+        recovery_seconds=recovery_s,
     )
 
 

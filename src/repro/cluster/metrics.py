@@ -30,6 +30,14 @@ class RunMetrics:
     meter identically on their scalar and vectorized bulk paths (the
     bulk paths feed the same ``TraceRecorder`` sites in per-part /
     per-pair blocks), so metrics are execution-path invariant.
+
+    The three trailing fields report fault-tolerance overhead
+    (:mod:`repro.faults`): ``checkpoint_seconds`` and
+    ``recovery_seconds`` are the priced checkpoint-write and
+    crash-recovery terms of ``run_seconds``, and
+    ``failure_free_run_seconds`` is the same run re-priced without any
+    wasted or replayed work — the side-by-side baseline.  All three stay
+    at their defaults on runs without a fault schedule.
     """
 
     upload_seconds: float
@@ -40,6 +48,9 @@ class RunMetrics:
     messages: int
     remote_bytes: float
     supersteps: int
+    checkpoint_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    failure_free_run_seconds: float | None = None
 
     @property
     def makespan_seconds(self) -> float:
@@ -64,4 +75,11 @@ class RunMetrics:
             "messages": float(self.messages),
             "remote_bytes": self.remote_bytes,
             "supersteps": float(self.supersteps),
+            "checkpoint_s": self.checkpoint_seconds,
+            "recovery_s": self.recovery_seconds,
+            "failure_free_run_s": (
+                self.run_seconds
+                if self.failure_free_run_seconds is None
+                else self.failure_free_run_seconds
+            ),
         }

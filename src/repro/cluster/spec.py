@@ -45,6 +45,14 @@ class ClusterSpec:
         high-diameter workloads.
     barrier_base_seconds:
         Fixed cost of one BSP barrier on a single machine.
+    disk_bandwidth_bytes_per_second:
+        Per-machine sequential disk bandwidth; prices checkpoint writes
+        and recovery restores (:mod:`repro.faults`).  Scaled down by the
+        same factor as the compute/network rates.
+    failover_seconds:
+        Fixed per-crash cost of detecting the failure and rescheduling
+        the lost machine's work — a real constant, not scaled, like the
+        other per-event costs.
     """
 
     machines: int = 1
@@ -61,6 +69,9 @@ class ClusterSpec:
     network_bandwidth_bytes_per_second: float = 1.875e9 / 16000.0  # 15 Gbps
     network_latency_seconds: float = 100e-6
     barrier_base_seconds: float = 250e-6
+    # ~500 MB/s sequential disk, scaled by the same 16000x as the data.
+    disk_bandwidth_bytes_per_second: float = 500e6 / 16000.0
+    failover_seconds: float = 2.0
 
     def __post_init__(self) -> None:
         if self.machines < 1:
@@ -77,6 +88,10 @@ class ClusterSpec:
             raise ClusterConfigError("network bandwidth must be positive")
         if self.network_latency_seconds < 0 or self.barrier_base_seconds < 0:
             raise ClusterConfigError("latencies must be non-negative")
+        if self.disk_bandwidth_bytes_per_second <= 0:
+            raise ClusterConfigError("disk bandwidth must be positive")
+        if self.failover_seconds < 0:
+            raise ClusterConfigError("failover_seconds must be non-negative")
 
     @property
     def total_threads(self) -> int:

@@ -46,6 +46,12 @@ class ClusterConfigError(PlatformError):
     (zero machines, non-positive bandwidth, etc.)."""
 
 
+class TransientFaultError(PlatformError):
+    """Raised when a fault schedule makes a run attempt fail transiently
+    (job-submission flakiness); the bench runner retries these with
+    simulated exponential backoff."""
+
+
 class ConvergenceError(ReproError):
     """Raised when an iterative computation exceeds its iteration budget
     without converging and the caller required convergence."""

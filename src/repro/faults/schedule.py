@@ -1,0 +1,222 @@
+"""Seeded fault schedules: the *what goes wrong* half of ``repro.faults``.
+
+A :class:`FaultSchedule` is a frozen, hashable value object describing
+every fault injected into one run.  Hashability matters: schedules ride
+the shared engine options into ``run_case``'s memoization key, so two
+cases differing only in their schedule cache separately.
+
+Determinism is the design invariant.  Crashes fire at *named* superstep
+barriers, stragglers cover *named* superstep windows, and the only
+random quantity — per-superstep message retransmission — draws from
+``numpy`` generators keyed on ``(schedule.seed, superstep index)``.  No
+wall-clock randomness exists anywhere in the subsystem, so the same
+schedule always yields the same execution, the same
+:class:`~repro.cluster.cost.WorkTrace`, and the same priced seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusterConfigError
+
+__all__ = [
+    "MachineCrash",
+    "StragglerWindow",
+    "FaultSchedule",
+    "EMPTY_SCHEDULE",
+]
+
+
+@dataclass(frozen=True)
+class MachineCrash:
+    """One machine failure, firing at a BSP barrier.
+
+    The crash takes effect at the barrier *after* superstep
+    ``superstep`` is sealed: that superstep's work is lost (re-executed
+    from the last checkpoint) and ``machine`` takes no further part in
+    the run — its graph parts are re-placed round-robin over the
+    survivors.  A crash naming a machine the priced cluster does not
+    have (``machine >= cluster.machines``) is inert.
+    """
+
+    superstep: int
+    machine: int
+
+    def __post_init__(self) -> None:
+        if self.superstep < 0:
+            raise ClusterConfigError(
+                f"crash superstep must be >= 0, got {self.superstep}"
+            )
+        if self.machine < 0:
+            raise ClusterConfigError(
+                f"crash machine must be >= 0, got {self.machine}"
+            )
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """One machine running slow over a superstep window.
+
+    During logical supersteps ``start_superstep <= s < end_superstep``
+    (``end_superstep=None`` means "until the run ends"), every second of
+    compute on ``machine`` takes ``factor`` times as long.  Straggling
+    only matters when the slowed machine is the superstep's critical
+    path — a slow but lightly loaded machine costs nothing, exactly as
+    on real BSP clusters.
+    """
+
+    machine: int
+    factor: float
+    start_superstep: int = 0
+    end_superstep: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.machine < 0:
+            raise ClusterConfigError(
+                f"straggler machine must be >= 0, got {self.machine}"
+            )
+        if self.factor < 1.0:
+            raise ClusterConfigError(
+                f"straggler factor must be >= 1, got {self.factor}"
+            )
+        if self.start_superstep < 0:
+            raise ClusterConfigError("straggler window must start at >= 0")
+        if (self.end_superstep is not None
+                and self.end_superstep <= self.start_superstep):
+            raise ClusterConfigError(
+                "straggler window must end after it starts"
+            )
+
+    def covers(self, superstep: int) -> bool:
+        """Whether ``superstep`` falls inside this window."""
+        if superstep < self.start_superstep:
+            return False
+        return self.end_superstep is None or superstep < self.end_superstep
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that goes wrong during one run, fully seeded.
+
+    Attributes
+    ----------
+    crashes:
+        Machine failures, with strictly increasing supersteps (each
+        barrier loses at most one machine, and recovery always makes
+        forward progress before the next crash).
+    stragglers:
+        Per-machine slowdown windows (may overlap freely).
+    retransmit_rate:
+        Probability that a remote message needs retransmission; the
+        per-superstep retransmission count is a binomial draw from a
+        generator keyed on ``(seed, superstep index)`` — deterministic,
+        never wall-clock.
+    transient_failures:
+        Number of times admission fails with a
+        :class:`~repro.errors.TransientFaultError` before a run attempt
+        succeeds (models job-submission flakiness; the bench runner's
+        retry-with-backoff consumes these).
+    seed:
+        Seed for the retransmission draws (and nothing else — crashes
+        and stragglers are explicit).
+    """
+
+    crashes: tuple[MachineCrash, ...] = ()
+    stragglers: tuple[StragglerWindow, ...] = ()
+    retransmit_rate: float = 0.0
+    transient_failures: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        for prev, nxt in zip(self.crashes, self.crashes[1:]):
+            if nxt.superstep <= prev.superstep:
+                raise ClusterConfigError(
+                    "crash supersteps must be strictly increasing; got "
+                    f"{prev.superstep} then {nxt.superstep}"
+                )
+        if not 0.0 <= self.retransmit_rate < 1.0:
+            raise ClusterConfigError(
+                f"retransmit_rate must be in [0, 1), got {self.retransmit_rate}"
+            )
+        if self.transient_failures < 0:
+            raise ClusterConfigError("transient_failures must be >= 0")
+
+    @property
+    def empty(self) -> bool:
+        """Whether the schedule injects nothing at all.
+
+        An empty schedule attaches no fault runtime: the run's
+        ``WorkTrace`` and priced seconds are bit-identical to a run with
+        no schedule (parity-tested).
+        """
+        return (not self.crashes and not self.stragglers
+                and self.retransmit_rate == 0.0
+                and self.transient_failures == 0)
+
+    def slowdown(self, machines: int, superstep: int) -> np.ndarray | None:
+        """Per-machine slowdown factors for one logical superstep.
+
+        Returns ``None`` when no window covers ``superstep`` (the
+        pricing fast path), else a ``(machines,)`` float array of
+        factors >= 1.  Overlapping windows on one machine multiply.
+        """
+        slow: np.ndarray | None = None
+        for window in self.stragglers:
+            if window.machine < machines and window.covers(superstep):
+                if slow is None:
+                    slow = np.ones(machines)
+                slow[window.machine] *= window.factor
+        return slow
+
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        *,
+        machines: int,
+        max_superstep: int,
+        crashes: int = 1,
+        straggler_rate: float = 0.0,
+        retransmit_rate: float = 0.0,
+    ) -> "FaultSchedule":
+        """Draw a random — but fully reproducible — schedule.
+
+        Crash supersteps are ``crashes`` distinct draws from
+        ``[0, max_superstep)`` and crash machines uniform draws from
+        ``[0, machines)``; with ``straggler_rate > 0`` each machine
+        independently becomes a 2x straggler for the whole run with that
+        probability.  The same ``(seed, arguments)`` always produces the
+        same schedule.
+        """
+        if crashes > max_superstep:
+            raise ClusterConfigError(
+                f"cannot place {crashes} crashes in {max_superstep} supersteps"
+            )
+        rng = np.random.default_rng(seed)
+        steps = np.sort(rng.choice(max_superstep, size=crashes, replace=False))
+        crash_events = tuple(
+            MachineCrash(superstep=int(s), machine=int(rng.integers(machines)))
+            for s in steps
+        )
+        stragglers: tuple[StragglerWindow, ...] = ()
+        if straggler_rate > 0.0:
+            slow_mask = rng.random(machines) < straggler_rate
+            stragglers = tuple(
+                StragglerWindow(machine=int(m), factor=2.0)
+                for m in np.flatnonzero(slow_mask)
+            )
+        return cls(
+            crashes=crash_events,
+            stragglers=stragglers,
+            retransmit_rate=retransmit_rate,
+            seed=seed,
+        )
+
+
+#: The canonical no-faults schedule (attaches no runtime; parity-safe).
+EMPTY_SCHEDULE = FaultSchedule()

@@ -22,13 +22,17 @@ from repro.obs.counters import (
     CACHE_HITS,
     CACHE_MISSES,
     CASE_CACHE_HITS,
+    CASE_RETRIES,
     CASES_RUN,
+    CHECKPOINTS_WRITTEN,
     COMPUTE_OPS,
+    CRASHES_INJECTED,
     GEN_EDGES,
     GEN_TRIALS,
     MSG_BYTES,
     MSG_COUNT,
     SUPERSTEPS,
+    SUPERSTEPS_REPLAYED,
     VOCABULARY,
     CounterRegistry,
     note_superstep,
@@ -70,6 +74,10 @@ __all__ = [
     "GEN_TRIALS",
     "CASES_RUN",
     "CASE_CACHE_HITS",
+    "CHECKPOINTS_WRITTEN",
+    "CRASHES_INJECTED",
+    "SUPERSTEPS_REPLAYED",
+    "CASE_RETRIES",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",

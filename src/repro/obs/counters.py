@@ -33,6 +33,10 @@ __all__ = [
     "GEN_TRIALS",
     "CASES_RUN",
     "CASE_CACHE_HITS",
+    "CHECKPOINTS_WRITTEN",
+    "CRASHES_INJECTED",
+    "SUPERSTEPS_REPLAYED",
+    "CASE_RETRIES",
     "CounterRegistry",
     "note_superstep",
 ]
@@ -61,6 +65,15 @@ GEN_TRIALS = "gen_trials"
 CASES_RUN = "cases_run"
 #: Benchmark cases served from the session-level memo cache.
 CASE_CACHE_HITS = "case_cache_hits"
+#: Checkpoint images written by the fault runtime
+#: (``repro.faults.FaultRuntime``).
+CHECKPOINTS_WRITTEN = "checkpoints_written"
+#: Machine crashes injected by a fault schedule.
+CRASHES_INJECTED = "crashes_injected"
+#: Supersteps re-executed (or replayed by copy) during crash recovery.
+SUPERSTEPS_REPLAYED = "supersteps_replayed"
+#: Transient-fault retries performed by ``bench.runner.run_case``.
+CASE_RETRIES = "case_retries"
 
 #: The unified counter vocabulary: name -> one-line definition naming the
 #: subsystem that previously owned the quantity.
@@ -96,6 +109,19 @@ VOCABULARY: dict[str, str] = {
     ),
     CASES_RUN: "Benchmark cases executed for real by run_case.",
     CASE_CACHE_HITS: "Benchmark cases served from run_case's memo cache.",
+    CHECKPOINTS_WRITTEN: (
+        "Checkpoint images written by the fault runtime "
+        "(repro.faults.FaultRuntime)."
+    ),
+    CRASHES_INJECTED: "Machine crashes injected by a FaultSchedule.",
+    SUPERSTEPS_REPLAYED: (
+        "Supersteps re-executed (or replayed by copy) during crash "
+        "recovery."
+    ),
+    CASE_RETRIES: (
+        "Transient-fault retries performed by run_case's "
+        "retry-with-backoff loop."
+    ),
 }
 
 

@@ -31,8 +31,14 @@ from repro.cluster.cost import (
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.spec import ClusterSpec
 from repro.core.graph import Graph
-from repro.errors import PlatformError, UnsupportedAlgorithmError
+from repro.errors import (
+    PlatformError,
+    TransientFaultError,
+    UnsupportedAlgorithmError,
+)
+from repro.faults.runtime import FaultRuntime, FaultTimeline
 from repro.obs import get_tracer
+from repro.platforms.common import EngineOptions, parse_engine_options
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["Platform", "PlatformRunResult", "CORE_ALGORITHMS"]
@@ -53,7 +59,13 @@ SUBGRAPH_MEMORY_COMPENSATION = 40.0
 
 @dataclass(frozen=True)
 class PlatformRunResult:
-    """Everything one platform/algorithm/dataset execution produced."""
+    """Everything one platform/algorithm/dataset execution produced.
+
+    ``timeline`` is ``None`` for failure-free runs; under a fault
+    schedule it records the checkpoints written and crashes injected, so
+    the same trace can be re-priced fault-aware or reduced to its
+    failure-free sub-trace.
+    """
 
     platform: str
     algorithm: str
@@ -62,10 +74,13 @@ class PlatformRunResult:
     priced: PricedRun           # priced under the run's cluster
     metrics: RunMetrics         # Table-5 metrics
     cluster: ClusterSpec
+    timeline: FaultTimeline | None = None
 
     def reprice(self, cluster: ClusterSpec, profile: PlatformProfile) -> PricedRun:
         """Price the same metered work under another configuration."""
-        return price_trace(self.trace, cluster, profile.cost)
+        return price_trace(
+            self.trace, cluster, profile.cost, faults=self.timeline
+        )
 
 
 class Platform:
@@ -106,9 +121,20 @@ class Platform:
         algorithm: str,
         graph: Graph,
         cluster: ClusterSpec,
+        *,
+        attempt: int = 0,
         **params,
     ) -> PlatformRunResult:
         """Execute ``algorithm`` on ``graph`` under ``cluster``.
+
+        Shared engine knobs (``engine_mode``, ``fault_schedule``,
+        ``checkpoint_interval``) are parsed by
+        :func:`~repro.platforms.common.parse_engine_options`; remaining
+        keyword arguments go to the algorithm implementation.
+        ``attempt`` is the retry ordinal — a schedule with
+        ``transient_failures=k`` makes attempts ``0..k-1`` fail with
+        :class:`~repro.errors.TransientFaultError` (the bench runner's
+        retry loop increments ``attempt``).
 
         Raises
         ------
@@ -116,7 +142,9 @@ class Platform:
             If the computing model cannot express the algorithm.
         PlatformError
             For configuration violations (Ligra on >1 machine, GraphX
-            below its minimum thread counts).
+            below its minimum thread counts, bad engine options).
+        TransientFaultError
+            For a scheduled transient job-submission failure.
         OutOfMemoryError
             When the working set exceeds cluster memory (stress test).
         """
@@ -129,20 +157,43 @@ class Platform:
             vertices=graph.num_vertices,
             edges=graph.num_edges,
         ):
-            self._validate(algorithm, cluster)
-            memory = self.profile.memory_bytes(
-                graph.num_vertices, graph.num_edges
-            )
-            memory += self._working_set_extra_bytes(algorithm, graph)
-            check_memory(memory, cluster, what=f"{self.name}/{algorithm}")
+            options = parse_engine_options(params)
+            memory = self._admit(algorithm, graph, cluster, options)
+            schedule = options.fault_schedule
+            if attempt < schedule.transient_failures:
+                raise TransientFaultError(
+                    f"{self.name}/{algorithm}: simulated job-submission "
+                    f"failure (attempt {attempt + 1} of "
+                    f"{schedule.transient_failures} scheduled to fail)"
+                )
 
             recorder = TraceRecorder(NUM_PARTS)
+            runtime = None
+            if not schedule.empty:
+                runtime = FaultRuntime(
+                    schedule,
+                    options.checkpoint_interval,
+                    cluster.machines,
+                    checkpoint_bytes=self._checkpoint_bytes(graph),
+                )
+                runtime.attach(recorder)
+            timeline = runtime.timeline if runtime is not None else None
             with tracer.span("execute", category="phase"):
-                values = self._execute(algorithm, graph, recorder, params)
+                values = self._execute(
+                    algorithm, graph, recorder, params, options
+                )
             with tracer.span("price", category="phase"):
                 priced = price_trace(
-                    recorder.trace, cluster, self.profile.cost
+                    recorder.trace, cluster, self.profile.cost,
+                    faults=timeline,
                 )
+                failure_free = None
+                if timeline is not None:
+                    failure_free = price_trace(
+                        timeline.failure_free_trace(recorder.trace),
+                        cluster,
+                        self.profile.cost,
+                    ).seconds
 
         upload = memory / (
             self.profile.upload_rate_bytes_per_second * cluster.machines
@@ -159,6 +210,9 @@ class Platform:
             messages=recorder.trace.total_messages,
             remote_bytes=recorder.trace.total_message_bytes,
             supersteps=recorder.trace.supersteps,
+            checkpoint_seconds=priced.checkpoint_seconds,
+            recovery_seconds=priced.recovery_seconds,
+            failure_free_run_seconds=failure_free,
         )
         return PlatformRunResult(
             platform=self.name,
@@ -168,21 +222,21 @@ class Platform:
             priced=priced,
             metrics=metrics,
             cluster=cluster,
+            timeline=timeline,
         )
 
     def check_capacity(
-        self, algorithm: str, graph: Graph, cluster: ClusterSpec
+        self, algorithm: str, graph: Graph, cluster: ClusterSpec, **params
     ) -> None:
         """Validate configuration and memory without executing.
 
         Raises the same errors :meth:`run` would raise before starting
-        execution; used by the stress-test experiment, where only the
-        can-it-fit outcome matters.
+        execution (transient faults excepted — those model submission
+        flakiness, not capacity); used by the stress-test experiment,
+        where only the can-it-fit outcome matters.
         """
-        self._validate(algorithm, cluster)
-        memory = self.profile.memory_bytes(graph.num_vertices, graph.num_edges)
-        memory += self._working_set_extra_bytes(algorithm, graph)
-        check_memory(memory, cluster, what=f"{self.name}/{algorithm}")
+        options = parse_engine_options(params)
+        self._admit(algorithm, graph, cluster, options)
 
     # -- subclass hooks ---------------------------------------------------
 
@@ -192,6 +246,7 @@ class Platform:
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        options: EngineOptions,
     ) -> Any:
         raise NotImplementedError
 
@@ -206,6 +261,39 @@ class Platform:
         return 0.0
 
     # -- internals --------------------------------------------------------
+
+    def _checkpoint_bytes(self, graph: Graph) -> float:
+        """Size of one checkpoint image: the platform's per-vertex state.
+
+        A checkpoint persists mutable algorithm state (vertex values),
+        not the immutable loaded graph, so it scales with the profile's
+        ``bytes_per_vertex`` only.
+        """
+        return self.profile.bytes_per_vertex * graph.num_vertices
+
+    def _admit(
+        self,
+        algorithm: str,
+        graph: Graph,
+        cluster: ClusterSpec,
+        options: EngineOptions,
+    ) -> float:
+        """Single admission path shared by :meth:`run` and
+        :meth:`check_capacity`.
+
+        Validates the configuration, then charges the working set —
+        graph + algorithm extras + (once, here only) the in-memory
+        checkpoint buffer when a fault schedule is active — against the
+        cluster's memory.  Returns the admitted working-set bytes so
+        :meth:`run` can derive the upload time from the same number.
+        """
+        self._validate(algorithm, cluster)
+        memory = self.profile.memory_bytes(graph.num_vertices, graph.num_edges)
+        memory += self._working_set_extra_bytes(algorithm, graph)
+        if not options.fault_schedule.empty:
+            memory += self._checkpoint_bytes(graph)
+        check_memory(memory, cluster, what=f"{self.name}/{algorithm}")
+        return memory
 
     def _validate(self, algorithm: str, cluster: ClusterSpec) -> None:
         if not self.supports(algorithm):

@@ -21,6 +21,7 @@ from repro.platforms.block_centric.algorithms import (
 )
 from repro.obs import get_tracer
 from repro.platforms.block_centric.engine import BlockCentricEngine
+from repro.platforms.common import EngineOptions
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["BlockCentricPlatform"]
@@ -46,7 +47,11 @@ class BlockCentricPlatform(Platform):
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        options: EngineOptions,
     ) -> Any:
+        # The block-centric engine has a single execution path and is
+        # recorder-managed under faults, so ``options`` carries nothing
+        # it needs to read.
         with get_tracer().span(
             f"block-centric/{algorithm}", category="engine"
         ):

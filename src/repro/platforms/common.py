@@ -1,17 +1,111 @@
-"""Shared helpers for platform algorithm implementations."""
+"""Shared helpers for platform algorithm implementations.
+
+Besides the vectorization primitives, this module owns the **engine
+options** vocabulary: every platform's ``run()`` accepts the same
+keyword knobs (``engine_mode``, ``fault_schedule``,
+``checkpoint_interval``), and :func:`parse_engine_options` is the single
+place they are popped, validated, and normalized into an
+:class:`EngineOptions`.  The vertex- and edge-centric platforms used to
+each pop ``engine_mode`` themselves with silently-diverging defaults;
+now an unknown mode raises one clear
+:class:`~repro.errors.PlatformError` everywhere.
+"""
 
 from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.graph import Graph
+from repro.errors import PlatformError
+from repro.faults.schedule import EMPTY_SCHEDULE, FaultSchedule
 
 __all__ = [
+    "EngineMode",
+    "EngineOptions",
+    "parse_engine_options",
     "expand_segments",
     "forward_adjacency",
     "vertex_order_positions",
     "adjacency_shipping_bytes",
 ]
+
+
+class EngineMode(enum.Enum):
+    """Execution-path selector for engines with scalar and bulk paths.
+
+    ``AUTO`` lets the engine pick (currently the vectorized bulk path
+    where one exists); ``BULK`` and ``SCALAR`` force a path, which the
+    parity suites use to assert both meter identically.  Engines with a
+    single path accept the knob and ignore it.
+    """
+
+    AUTO = "auto"
+    BULK = "bulk"
+    SCALAR = "scalar"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Normalized engine knobs shared by every platform's ``run()``.
+
+    Attributes
+    ----------
+    mode:
+        Scalar/bulk path selection (:class:`EngineMode`).
+    fault_schedule:
+        The run's :class:`~repro.faults.FaultSchedule`; defaults to the
+        empty schedule, under which execution, metering, and pricing are
+        bit-identical to a run with no fault machinery at all.
+    checkpoint_interval:
+        Supersteps between checkpoint images when the schedule is
+        non-empty (ignored otherwise).
+    """
+
+    mode: EngineMode = EngineMode.AUTO
+    fault_schedule: FaultSchedule = EMPTY_SCHEDULE
+    checkpoint_interval: int = 8
+
+
+def parse_engine_options(params: dict) -> EngineOptions:
+    """Pop and validate the shared engine knobs out of ``params``.
+
+    Mutates ``params`` (the platform's remaining keyword arguments) by
+    removing ``engine_mode``, ``fault_schedule``, and
+    ``checkpoint_interval``; everything else is left for the algorithm
+    implementations.  Raises :class:`~repro.errors.PlatformError` for an
+    unknown mode, a schedule of the wrong type, or a non-positive
+    checkpoint interval.
+    """
+    raw_mode = params.pop("engine_mode", EngineMode.AUTO)
+    if isinstance(raw_mode, EngineMode):
+        mode = raw_mode
+    else:
+        try:
+            mode = EngineMode(raw_mode)
+        except ValueError:
+            valid = ", ".join(repr(m.value) for m in EngineMode)
+            raise PlatformError(
+                f"unknown engine_mode {raw_mode!r}; expected one of {valid}"
+            ) from None
+    schedule = params.pop("fault_schedule", None)
+    if schedule is None:
+        schedule = EMPTY_SCHEDULE
+    elif not isinstance(schedule, FaultSchedule):
+        raise PlatformError(
+            f"fault_schedule must be a FaultSchedule, got "
+            f"{type(schedule).__name__}"
+        )
+    interval = params.pop("checkpoint_interval", 8)
+    if not isinstance(interval, int) or isinstance(interval, bool) or interval < 1:
+        raise PlatformError(
+            f"checkpoint_interval must be an int >= 1, got {interval!r}"
+        )
+    return EngineOptions(
+        mode=mode, fault_schedule=schedule, checkpoint_interval=interval
+    )
 
 
 def expand_segments(

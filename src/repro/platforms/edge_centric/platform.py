@@ -15,7 +15,7 @@ import numpy as np
 from repro.cluster.cost import NUM_PARTS, TraceRecorder
 from repro.core.graph import Graph
 from repro.platforms.base import Platform
-from repro.platforms.common import forward_adjacency
+from repro.platforms.common import EngineOptions, forward_adjacency
 from repro.platforms.edge_centric.engine import EdgeCentricEngine, EdgePlacement
 from repro.platforms.edge_centric.programs import (
     BCBackwardGAS,
@@ -67,14 +67,14 @@ class EdgeCentricPlatform(Platform):
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        options: EngineOptions,
     ) -> Any:
         placement = EdgePlacement(graph, NUM_PARTS)
-        # "auto" routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
-        # through the vectorized bulk GAS path; "scalar"/"bulk" force
-        # one path (the parity tests diff the two).
-        mode = params.pop("engine_mode", "auto")
+        # AUTO routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
+        # through the vectorized bulk GAS path; SCALAR/BULK force one
+        # path (the parity tests diff the two).
         engine = EdgeCentricEngine(
-            graph, placement, recorder, self.profile, mode=mode
+            graph, placement, recorder, self.profile, mode=options.mode.value
         )
 
         if algorithm == "pr":

@@ -13,6 +13,7 @@ from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.obs import get_tracer
 from repro.platforms.base import Platform
+from repro.platforms.common import EngineOptions
 from repro.platforms.profile import PlatformProfile
 from repro.platforms.subgraph_centric.engine import SubgraphCentricEngine
 
@@ -39,7 +40,11 @@ class SubgraphCentricPlatform(Platform):
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        options: EngineOptions,
     ) -> Any:
+        # The subgraph-centric engine has a single execution path and is
+        # recorder-managed under faults, so ``options`` carries nothing
+        # it needs to read.
         with get_tracer().span(
             f"subgraph-centric/{algorithm}", category="engine"
         ):

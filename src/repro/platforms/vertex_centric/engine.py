@@ -548,55 +548,89 @@ class VertexCentricEngine:
 
         hook = getattr(program, "before_superstep", None)
 
-        for superstep in range(max_supersteps):
-            ctx.superstep = superstep
-            if hook is not None:
-                # Master-compute hook (Pregel's master.compute()): may
-                # inspect aggregates and schedule extra vertices.
-                extra = hook(superstep, ctx)
-                if extra is not None:
-                    active.update(int(v) for v in extra)
-            if scripted is not None:
-                if superstep >= len(scripted):
-                    return program
-                compute_list: list[int] = [int(v) for v in scripted[superstep]]
-            else:
-                if not active and not inbox:
-                    return program
-                compute_list = sorted(active | inbox.keys())
+        faults = rec.faults
+        if faults is not None:
+            # Capture reads the *current* loop locals at call time, so
+            # checkpoints taken after reassignment see the live state.
+            def _capture() -> tuple:
+                return (program.__dict__, ctx._agg_prev, inbox, active)
 
-            with tracer.span("superstep", category="superstep",
-                             index=superstep, frontier=len(compute_list)):
-                rec.begin_superstep()
+            faults.start_section(_capture)
+        try:
+            superstep = 0
+            while superstep < max_supersteps:
+                if faults is not None:
+                    faults.checkpoint_if_due(superstep)
                 ctx.superstep = superstep
-                part = self._part
-                step_ops = np.zeros(parts)
-
-                # Push/pull auto-switching: pull-mode sequential reads
-                # halve per-message cost, but only dense frontiers
-                # qualify.
-                dense = len(compute_list) >= dense_threshold
-                msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
-
-                # Per-superstep scan overhead (the vertex_subset effect).
-                if profile.vertex_subset:
-                    for v in compute_list:
-                        step_ops[part[v]] += 1.0
+                if hook is not None:
+                    # Master-compute hook (Pregel's master.compute()): may
+                    # inspect aggregates and schedule extra vertices.
+                    extra = hook(superstep, ctx)
+                    if extra is not None:
+                        active.update(int(v) for v in extra)
+                if scripted is not None:
+                    if superstep >= len(scripted):
+                        return program
+                    compute_list: list[int] = [
+                        int(v) for v in scripted[superstep]
+                    ]
                 else:
-                    step_ops += self._part_sizes
+                    if not active and not inbox:
+                        return program
+                    compute_list = sorted(active | inbox.keys())
 
-                for v in compute_list:
-                    msgs = inbox.pop(v, _EMPTY)
-                    if msgs:
-                        step_ops[part[v]] += msg_op_cost * len(msgs)
-                    program.compute(v, msgs, ctx)
+                with tracer.span("superstep", category="superstep",
+                                 index=superstep, frontier=len(compute_list)):
+                    rec.begin_superstep()
+                    ctx.superstep = superstep
+                    part = self._part
+                    step_ops = np.zeros(parts)
 
-                inbox = self._route(ctx, program, step_ops)
+                    # Push/pull auto-switching: pull-mode sequential reads
+                    # halve per-message cost, but only dense frontiers
+                    # qualify.
+                    dense = len(compute_list) >= dense_threshold
+                    msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
 
-                self._flush_superstep(ctx._agg_next, step_ops)
+                    # Per-superstep scan overhead (the vertex_subset effect).
+                    if profile.vertex_subset:
+                        for v in compute_list:
+                            step_ops[part[v]] += 1.0
+                    else:
+                        step_ops += self._part_sizes
 
-                active = set(ctx._next_active)
-                ctx._roll()
+                    for v in compute_list:
+                        msgs = inbox.pop(v, _EMPTY)
+                        if msgs:
+                            step_ops[part[v]] += msg_op_cost * len(msgs)
+                        program.compute(v, msgs, ctx)
+
+                    inbox = self._route(ctx, program, step_ops)
+
+                    self._flush_superstep(ctx._agg_next, step_ops)
+
+                    active = set(ctx._next_active)
+                    ctx._roll()
+
+                if faults is not None:
+                    target = faults.after_superstep(superstep)
+                    if target is not None:
+                        # Crash at this barrier: restore the last
+                        # checkpoint and re-execute the lost supersteps
+                        # for real (the wasted attempts stay in the
+                        # trace).
+                        prog_state, agg_prev, inbox, active = faults.rollback()
+                        program.__dict__.clear()
+                        program.__dict__.update(prog_state)
+                        ctx._agg_prev = agg_prev
+                        if scripted is not None:
+                            scripted = program.frontiers
+                        superstep = target
+                        continue
+                superstep += 1
+        finally:
+            if faults is not None:
+                faults.end_section()
 
         raise ConvergenceError(
             f"{type(program).__name__} did not quiesce within "
@@ -693,49 +727,73 @@ class VertexCentricEngine:
         inbox = BulkInbox(n)
         dense_threshold = max(1, n // 20)
 
-        for superstep in range(max_supersteps):
-            ctx.superstep = superstep
-            inbox_dsts = inbox.destinations()
-            if active.size == 0 and inbox_dsts.size == 0:
-                return program
-            if inbox_dsts.size == 0:
-                frontier = active
-            elif active.size == 0:
-                frontier = inbox_dsts
-            else:
-                frontier = np.union1d(active, inbox_dsts)
+        faults = rec.faults
+        if faults is not None:
+            def _capture() -> tuple:
+                return (program.__dict__, ctx._agg_prev, inbox, active)
 
-            with tracer.span("superstep", category="superstep",
-                             index=superstep, frontier=int(frontier.size)):
-                rec.begin_superstep()
-                step_ops = np.zeros(parts)
-
-                dense = frontier.size >= dense_threshold
-                msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
-
-                # Per-superstep scan overhead (the vertex_subset effect).
-                if profile.vertex_subset:
-                    step_ops += np.bincount(part[frontier], minlength=parts)
+            faults.start_section(_capture)
+        try:
+            superstep = 0
+            while superstep < max_supersteps:
+                if faults is not None:
+                    faults.checkpoint_if_due(superstep)
+                ctx.superstep = superstep
+                inbox_dsts = inbox.destinations()
+                if active.size == 0 and inbox_dsts.size == 0:
+                    return program
+                if inbox_dsts.size == 0:
+                    frontier = active
+                elif active.size == 0:
+                    frontier = inbox_dsts
                 else:
-                    step_ops += self._part_sizes
+                    frontier = np.union1d(active, inbox_dsts)
 
-                # Per-message processing cost at the receivers.
-                if inbox_dsts.size:
-                    counts = inbox.count_per_vertex()[inbox_dsts]
-                    step_ops += msg_op_cost * np.bincount(
-                        part[inbox_dsts],
-                        weights=counts.astype(np.float64),
-                        minlength=parts,
-                    )
+                with tracer.span("superstep", category="superstep",
+                                 index=superstep, frontier=int(frontier.size)):
+                    rec.begin_superstep()
+                    step_ops = np.zeros(parts)
 
-                program.compute_bulk(frontier, inbox, ctx)
+                    dense = frontier.size >= dense_threshold
+                    msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
 
-                inbox = self._route_bulk(ctx, program, step_ops, combining)
+                    # Per-superstep scan overhead (the vertex_subset effect).
+                    if profile.vertex_subset:
+                        step_ops += np.bincount(part[frontier], minlength=parts)
+                    else:
+                        step_ops += self._part_sizes
 
-                self._flush_superstep(ctx._agg_next, step_ops)
+                    # Per-message processing cost at the receivers.
+                    if inbox_dsts.size:
+                        counts = inbox.count_per_vertex()[inbox_dsts]
+                        step_ops += msg_op_cost * np.bincount(
+                            part[inbox_dsts],
+                            weights=counts.astype(np.float64),
+                            minlength=parts,
+                        )
 
-                active = ctx._take_active()
-                ctx._roll()
+                    program.compute_bulk(frontier, inbox, ctx)
+
+                    inbox = self._route_bulk(ctx, program, step_ops, combining)
+
+                    self._flush_superstep(ctx._agg_next, step_ops)
+
+                    active = ctx._take_active()
+                    ctx._roll()
+
+                if faults is not None:
+                    target = faults.after_superstep(superstep)
+                    if target is not None:
+                        prog_state, agg_prev, inbox, active = faults.rollback()
+                        program.__dict__.clear()
+                        program.__dict__.update(prog_state)
+                        ctx._agg_prev = agg_prev
+                        superstep = target
+                        continue
+                superstep += 1
+        finally:
+            if faults is not None:
+                faults.end_section()
 
         raise ConvergenceError(
             f"{type(program).__name__} did not quiesce within "

@@ -17,6 +17,7 @@ from repro.cluster.cost import NUM_PARTS, TraceRecorder
 from repro.core.graph import Graph
 from repro.core.partition import hash_partition
 from repro.platforms.base import Platform
+from repro.platforms.common import EngineOptions
 from repro.platforms.profile import PlatformProfile
 from repro.platforms.vertex_centric.engine import VertexCentricEngine
 from repro.platforms.vertex_centric.programs import (
@@ -91,14 +92,14 @@ class VertexCentricPlatform(Platform):
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        options: EngineOptions,
     ) -> Any:
         partition = hash_partition(graph, NUM_PARTS)
-        # "auto" routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
-        # through the vectorized bulk-frontier path; "scalar"/"bulk"
-        # force one path (the parity tests diff the two).
-        mode = params.pop("engine_mode", "auto")
+        # AUTO routes bulk-capable programs (PR/LPA/SSSP/WCC-HashMin)
+        # through the vectorized bulk-frontier path; SCALAR/BULK force
+        # one path (the parity tests diff the two).
         engine = VertexCentricEngine(
-            graph, partition, recorder, self.profile, mode=mode
+            graph, partition, recorder, self.profile, mode=options.mode.value
         )
         profile = self.profile
 

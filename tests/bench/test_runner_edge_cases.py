@@ -1,0 +1,126 @@
+"""Edge-case tests for ``run_case``: cache-key sensitivity, the shared
+engine options, transient-fault retries, and red-bar promotion."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import RETRY_LIMIT, clear_case_cache, run_case
+from repro.cluster import ClusterSpec, single_machine
+from repro.faults import FaultSchedule, MachineCrash
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts and ends with an empty memo cache."""
+    clear_case_cache()
+    yield
+    clear_case_cache()
+
+
+class TestCacheKey:
+    def test_engine_mode_caches_separately(self):
+        scalar = run_case("Pregel+", "pr", "S8-Std", engine_mode="scalar")
+        bulk = run_case("Pregel+", "pr", "S8-Std", engine_mode="bulk")
+        assert scalar is not bulk
+        assert scalar.status == bulk.status == "ok"
+        # Same metered work on both paths (the parity invariant), so
+        # the cache split is by key, not by outcome.
+        assert scalar.seconds == bulk.seconds
+
+    def test_fault_schedule_caches_separately(self):
+        plain = run_case("Pregel+", "pr", "S8-Std")
+        # Machine 9 does not exist on one machine: the schedule is
+        # non-empty (checkpoints are written) but the crash is inert.
+        sched = FaultSchedule(crashes=(MachineCrash(2, machine=9),))
+        faulted = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched)
+        assert plain is not faulted
+        assert faulted.status == "ok"
+        assert faulted.seconds > plain.seconds
+
+    def test_checkpoint_interval_caches_separately(self):
+        sched = FaultSchedule(crashes=(MachineCrash(10**6, machine=0),))
+        tight = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched,
+                         checkpoint_interval=1)
+        loose = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched,
+                         checkpoint_interval=8)
+        assert tight is not loose
+        assert (tight.result.priced.checkpoint_seconds
+                > loose.result.priced.checkpoint_seconds)
+
+    def test_same_schedule_hits_cache(self):
+        sched = FaultSchedule(retransmit_rate=0.1, seed=3)
+        a = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched)
+        b = run_case("Pregel+", "pr", "S8-Std",
+                     fault_schedule=FaultSchedule(retransmit_rate=0.1,
+                                                  seed=3))
+        assert a is b
+
+    def test_clear_case_cache_forces_rerun(self):
+        a = run_case("Pregel+", "pr", "S8-Std")
+        clear_case_cache()
+        b = run_case("Pregel+", "pr", "S8-Std")
+        assert a is not b
+        assert a.seconds == b.seconds
+
+
+class TestStatuses:
+    def test_unknown_engine_mode_is_error(self):
+        outcome = run_case("Pregel+", "pr", "S8-Std", engine_mode="warp")
+        assert outcome.status == "error"
+        assert "engine_mode" in outcome.detail
+
+    def test_bad_checkpoint_interval_is_error(self):
+        outcome = run_case("Pregel+", "pr", "S8-Std", checkpoint_interval=0)
+        assert outcome.status == "error"
+
+    def test_transient_exhausts_retries(self):
+        sched = FaultSchedule(transient_failures=RETRY_LIMIT + 1)
+        outcome = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched)
+        assert outcome.status == "transient"
+        assert outcome.result is None
+        assert outcome.attempts == RETRY_LIMIT + 1
+        assert outcome.retry_backoff_seconds > 0
+
+    def test_transient_then_success(self):
+        sched = FaultSchedule(transient_failures=1)
+        outcome = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched)
+        assert outcome.status == "ok"
+        assert outcome.attempts == 2
+        assert outcome.retry_backoff_seconds == pytest.approx(0.5)
+
+    def test_backoff_grows_exponentially(self):
+        sched = FaultSchedule(transient_failures=3)
+        outcome = run_case("Pregel+", "pr", "S8-Std", fault_schedule=sched)
+        assert outcome.status == "ok"
+        assert outcome.attempts == 4
+        # 0.5 + 1.0 + 2.0
+        assert outcome.retry_backoff_seconds == pytest.approx(3.5)
+
+    def test_default_outcome_fields(self):
+        outcome = run_case("Pregel+", "pr", "S8-Std")
+        assert outcome.attempts == 1
+        assert outcome.retry_backoff_seconds == 0.0
+
+
+class TestRedBarPromotion:
+    def test_promotion_preserves_custom_spec_fields(self):
+        custom = dataclasses.replace(
+            single_machine(32),
+            disk_bandwidth_bytes_per_second=123.0,
+            failover_seconds=7.0,
+        )
+        outcome = run_case("GraphX", "kc", "S8-Std", cluster=custom)
+        assert outcome.red_bar
+        promoted = outcome.result.cluster
+        assert promoted.machines == 16
+        assert promoted.disk_bandwidth_bytes_per_second == 123.0
+        assert promoted.failover_seconds == 7.0
+
+    def test_promotion_preserves_threads_and_memory(self):
+        custom = ClusterSpec(machines=1, threads_per_machine=8,
+                             memory_per_machine_bytes=2**31)
+        outcome = run_case("GraphX", "kc", "S8-Std", cluster=custom)
+        promoted = outcome.result.cluster
+        assert promoted.threads_per_machine == 8
+        assert promoted.memory_per_machine_bytes == 2**31

@@ -1,0 +1,160 @@
+"""Pricing-layer tests: checkpoint, recovery, straggler, and
+retransmission cost terms, plus the new ClusterSpec fields."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.cluster.spec import scale_out
+from repro.datagen.fft import generate_fft
+from repro.errors import ClusterConfigError, PlatformError
+from repro.faults import FaultSchedule, MachineCrash, StragglerWindow
+from repro.platforms.registry import get_platform
+
+
+@pytest.fixture(scope="module")
+def graph():
+    """Small deterministic power-law graph shared by all cases."""
+    return generate_fft(200, alpha=40.0, seed=3).graph
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """Four machines, so a crash leaves survivors."""
+    return scale_out(4)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    """Engine-managed family; PR reaches a predictable superstep count."""
+    return get_platform("Pregel+")
+
+
+class TestCostTerms:
+    def test_breakdown_includes_fault_terms(self, graph, cluster, platform):
+        sched = FaultSchedule(crashes=(MachineCrash(2, machine=1),))
+        run = platform.run("pr", graph, cluster, fault_schedule=sched,
+                           checkpoint_interval=2)
+        b = run.priced.breakdown()
+        assert b["checkpoint_s"] > 0
+        assert b["recovery_s"] > 0
+        assert b["total_s"] == pytest.approx(
+            platform.profile.cost.startup_seconds
+            + b["compute_s"] + b["network_s"] + b["barrier_s"]
+            + b["checkpoint_s"] + b["recovery_s"]
+        )
+
+    def test_shorter_interval_costs_more_checkpoint(self, graph, cluster,
+                                                    platform):
+        sched = FaultSchedule(crashes=(MachineCrash(10**6, machine=0),))
+        tight = platform.run("pr", graph, cluster, fault_schedule=sched,
+                             checkpoint_interval=1)
+        loose = platform.run("pr", graph, cluster, fault_schedule=sched,
+                             checkpoint_interval=8)
+        assert (tight.priced.checkpoint_seconds
+                > loose.priced.checkpoint_seconds)
+
+    def test_metrics_report_fault_columns(self, graph, cluster, platform):
+        sched = FaultSchedule(crashes=(MachineCrash(2, machine=1),))
+        run = platform.run("pr", graph, cluster, fault_schedule=sched,
+                           checkpoint_interval=2)
+        row = run.metrics.as_row()
+        assert row["checkpoint_s"] == run.priced.checkpoint_seconds
+        assert row["recovery_s"] == run.priced.recovery_seconds
+        assert row["failure_free_run_s"] < row["run_s"]
+
+    def test_reprice_keeps_fault_terms(self, graph, cluster, platform):
+        sched = FaultSchedule(crashes=(MachineCrash(2, machine=1),))
+        run = platform.run("pr", graph, cluster, fault_schedule=sched,
+                           checkpoint_interval=2)
+        repriced = run.reprice(scale_out(4, threads=16), platform.profile)
+        assert repriced.recovery_seconds > 0
+        assert repriced.seconds != run.priced.seconds
+
+
+class TestStragglers:
+    def test_straggler_increases_seconds(self, graph, cluster, platform):
+        base = platform.run("pr", graph, cluster)
+        slow = platform.run("pr", graph, cluster, fault_schedule=FaultSchedule(
+            stragglers=(StragglerWindow(machine=0, factor=4.0),)
+        ))
+        assert slow.priced.seconds > base.priced.seconds
+        assert np.array_equal(np.asarray(slow.values),
+                              np.asarray(base.values))
+
+    def test_windowed_straggler_cheaper_than_permanent(self, graph, cluster,
+                                                       platform):
+        permanent = platform.run("pr", graph, cluster,
+                                 fault_schedule=FaultSchedule(
+            stragglers=(StragglerWindow(machine=0, factor=4.0),)
+        ))
+        windowed = platform.run("pr", graph, cluster,
+                                fault_schedule=FaultSchedule(
+            stragglers=(StragglerWindow(machine=0, factor=4.0,
+                                        start_superstep=0,
+                                        end_superstep=2),)
+        ))
+        assert windowed.priced.seconds < permanent.priced.seconds
+
+
+class TestRetransmission:
+    def test_deterministic_and_costly(self, graph, cluster, platform):
+        base = platform.run("pr", graph, cluster)
+        sched = FaultSchedule(retransmit_rate=0.2, seed=11)
+        first = platform.run("pr", graph, cluster, fault_schedule=sched)
+        second = platform.run("pr", graph, cluster, fault_schedule=sched)
+        assert first.priced.seconds == second.priced.seconds
+        assert first.priced.seconds > base.priced.seconds
+        assert np.array_equal(np.asarray(first.values),
+                              np.asarray(base.values))
+
+    def test_seed_changes_price(self, graph, cluster, platform):
+        a = platform.run("pr", graph, cluster,
+                         fault_schedule=FaultSchedule(retransmit_rate=0.2,
+                                                      seed=1))
+        b = platform.run("pr", graph, cluster,
+                         fault_schedule=FaultSchedule(retransmit_rate=0.2,
+                                                      seed=2))
+        assert a.priced.seconds != b.priced.seconds
+
+
+class TestCrashLimits:
+    def test_killing_last_machine_raises(self, graph, platform):
+        sched = FaultSchedule(crashes=(MachineCrash(1, machine=0),))
+        with pytest.raises(PlatformError):
+            platform.run("pr", graph, scale_out(1), fault_schedule=sched)
+
+    def test_crash_on_missing_machine_is_inert(self, graph, cluster,
+                                               platform):
+        base = platform.run("pr", graph, cluster)
+        sched = FaultSchedule(crashes=(MachineCrash(2, machine=9),))
+        run = platform.run("pr", graph, cluster, fault_schedule=sched,
+                           checkpoint_interval=2)
+        assert not run.timeline.crashes
+        assert np.array_equal(np.asarray(run.values),
+                              np.asarray(base.values))
+        assert run.priced.recovery_seconds == 0.0
+
+
+class TestSpecFields:
+    def test_disk_bandwidth_must_be_positive(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterSpec(disk_bandwidth_bytes_per_second=0.0)
+
+    def test_failover_must_be_non_negative(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterSpec(failover_seconds=-1.0)
+
+    def test_slower_disk_costs_more_checkpoint(self, graph, platform):
+        sched = FaultSchedule(crashes=(MachineCrash(10**6, machine=0),))
+        fast = platform.run("pr", graph, scale_out(4),
+                            fault_schedule=sched, checkpoint_interval=2)
+        slow_spec = ClusterSpec(
+            machines=4,
+            disk_bandwidth_bytes_per_second=ClusterSpec()
+            .disk_bandwidth_bytes_per_second / 10,
+        )
+        slow = platform.run("pr", graph, slow_spec,
+                            fault_schedule=sched, checkpoint_interval=2)
+        assert (slow.priced.checkpoint_seconds
+                == pytest.approx(10 * fast.priced.checkpoint_seconds))

@@ -1,0 +1,131 @@
+"""Unit tests for FaultSchedule and its building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterConfigError
+from repro.faults import (
+    EMPTY_SCHEDULE,
+    FaultSchedule,
+    MachineCrash,
+    StragglerWindow,
+)
+
+
+class TestValidation:
+    def test_negative_crash_superstep_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineCrash(superstep=-1, machine=0)
+
+    def test_negative_crash_machine_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            MachineCrash(superstep=0, machine=-1)
+
+    def test_straggler_factor_below_one_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            StragglerWindow(machine=0, factor=0.5)
+
+    def test_straggler_window_must_end_after_start(self):
+        with pytest.raises(ClusterConfigError):
+            StragglerWindow(machine=0, factor=2.0,
+                            start_superstep=3, end_superstep=3)
+
+    def test_crash_supersteps_must_strictly_increase(self):
+        with pytest.raises(ClusterConfigError):
+            FaultSchedule(crashes=(
+                MachineCrash(superstep=2, machine=0),
+                MachineCrash(superstep=2, machine=1),
+            ))
+
+    def test_retransmit_rate_range(self):
+        with pytest.raises(ClusterConfigError):
+            FaultSchedule(retransmit_rate=1.0)
+        with pytest.raises(ClusterConfigError):
+            FaultSchedule(retransmit_rate=-0.1)
+
+    def test_negative_transient_failures_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            FaultSchedule(transient_failures=-1)
+
+
+class TestValueSemantics:
+    def test_hashable_and_equal(self):
+        a = FaultSchedule(crashes=(MachineCrash(2, 1),), retransmit_rate=0.1)
+        b = FaultSchedule(crashes=(MachineCrash(2, 1),), retransmit_rate=0.1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_crash_list_coerced_to_tuple(self):
+        sched = FaultSchedule(crashes=[MachineCrash(1, 0)])
+        assert isinstance(sched.crashes, tuple)
+        assert hash(sched) is not None
+
+    def test_empty_property(self):
+        assert EMPTY_SCHEDULE.empty
+        assert FaultSchedule().empty
+        assert not FaultSchedule(crashes=(MachineCrash(0, 0),)).empty
+        assert not FaultSchedule(
+            stragglers=(StragglerWindow(0, 2.0),)
+        ).empty
+        assert not FaultSchedule(retransmit_rate=0.01).empty
+        assert not FaultSchedule(transient_failures=1).empty
+
+
+class TestSlowdown:
+    def test_no_window_returns_none(self):
+        sched = FaultSchedule(
+            stragglers=(StragglerWindow(0, 2.0, start_superstep=5),)
+        )
+        assert sched.slowdown(4, 0) is None
+        assert sched.slowdown(4, 4) is None
+
+    def test_window_coverage(self):
+        sched = FaultSchedule(stragglers=(
+            StragglerWindow(1, 3.0, start_superstep=2, end_superstep=4),
+        ))
+        slow = sched.slowdown(4, 2)
+        assert slow is not None
+        assert slow[1] == 3.0
+        assert slow[0] == slow[2] == slow[3] == 1.0
+        assert sched.slowdown(4, 4) is None
+
+    def test_overlapping_windows_multiply(self):
+        sched = FaultSchedule(stragglers=(
+            StragglerWindow(0, 2.0),
+            StragglerWindow(0, 1.5),
+        ))
+        slow = sched.slowdown(2, 0)
+        assert slow[0] == pytest.approx(3.0)
+
+    def test_out_of_range_machine_ignored(self):
+        sched = FaultSchedule(stragglers=(StragglerWindow(7, 2.0),))
+        assert sched.slowdown(4, 0) is None
+
+
+class TestFromSeed:
+    def test_deterministic(self):
+        kwargs = dict(machines=4, max_superstep=10, crashes=2,
+                      straggler_rate=0.5, retransmit_rate=0.05)
+        assert (FaultSchedule.from_seed(9, **kwargs)
+                == FaultSchedule.from_seed(9, **kwargs))
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            FaultSchedule.from_seed(s, machines=8, max_superstep=50,
+                                    crashes=3)
+            for s in range(10)
+        }
+        assert len(schedules) > 1
+
+    def test_crash_supersteps_valid(self):
+        sched = FaultSchedule.from_seed(3, machines=4, max_superstep=10,
+                                        crashes=4)
+        steps = [c.superstep for c in sched.crashes]
+        assert steps == sorted(set(steps))
+        assert all(0 <= s < 10 for s in steps)
+        assert all(0 <= c.machine < 4 for c in sched.crashes)
+
+    def test_too_many_crashes_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            FaultSchedule.from_seed(0, machines=2, max_superstep=2, crashes=3)
