@@ -1,0 +1,161 @@
+"""Suite wall-clock: sequential cold vs pooled cold vs pooled warm.
+
+Times a CI-sized benchmark grid (every platform × PR/TC × S8-Std) three
+ways — ``jobs=1`` with no persistent store, ``jobs=4`` against a cold
+store, and ``jobs=4`` against the store the cold pooled leg just warmed
+— verifies all three legs return bit-identical outcome lists, and
+records the wall-clocks in ``benchmarks/out/BENCH_suite.json``.
+
+The headline ``suite_speedup`` compares the sequential cold leg against
+the pooled warm leg: that is the number the pool + store pair exists to
+deliver (repeated suite invocations amortize dataset generation and
+metered runs through the content-addressed cache).  The cold pooled leg
+is recorded alongside it honestly — on a single-CPU runner process
+fan-out alone cannot beat sequential, so ``cpu_count`` is stored with
+the timings.
+
+Runs two ways:
+
+* under pytest (the benchmark suite): asserts the >= 2x warm-suite
+  speedup;
+* as a script — ``python benchmarks/bench_suite_parallel.py`` — exiting
+  non-zero when the floor is missed.
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import CaseSpec, clear_case_cache, run_cases
+from repro.bench.store import ArtifactStore, set_artifact_store
+from repro.datagen import clear_dataset_cache
+from repro.platforms import all_platforms
+
+#: The warm pooled suite must beat the cold sequential suite by this
+#: factor (store fetches replace metered executions).
+SUITE_SPEEDUP_FLOOR = 2.0
+
+
+def _grid() -> list[CaseSpec]:
+    """CI-sized grid: every platform on PR and TC over S8-Std."""
+    return [
+        CaseSpec.make(p.name, algorithm, "S8-Std")
+        for algorithm in ("pr", "tc")
+        for p in all_platforms()
+    ]
+
+
+def _outcomes_identical(a, b) -> bool:
+    if (a.platform, a.algorithm, a.dataset, a.status, a.detail,
+            a.red_bar, a.attempts) != (
+            b.platform, b.algorithm, b.dataset, b.status, b.detail,
+            b.red_bar, b.attempts):
+        return False
+    if (a.result is None) != (b.result is None):
+        return False
+    if a.result is None:
+        return True
+    ra, rb = a.result, b.result
+    return (
+        np.array_equal(np.asarray(ra.values), np.asarray(rb.values))
+        and ra.priced == rb.priced
+        and ra.metrics == rb.metrics
+        and ra.trace.supersteps == rb.trace.supersteps
+        and all(
+            np.array_equal(sa.ops, sb.ops)
+            and np.array_equal(sa.msg_count, sb.msg_count)
+            and np.array_equal(sa.msg_bytes, sb.msg_bytes)
+            for sa, sb in zip(ra.trace.steps, rb.trace.steps)
+        )
+    )
+
+
+def _timed_leg(specs, *, jobs, store_root):
+    """One suite leg from fully cold in-process caches."""
+    clear_case_cache()
+    clear_dataset_cache()
+    previous = set_artifact_store(
+        ArtifactStore(store_root) if store_root else None
+    )
+    try:
+        start = time.perf_counter()
+        outcomes = run_cases(specs, jobs=jobs)
+        elapsed = time.perf_counter() - start
+    finally:
+        set_artifact_store(previous)
+    return elapsed, outcomes
+
+
+def run_suite(*, jobs: int = 4) -> dict:
+    """Time the three legs, verify parity, persist the JSON."""
+    specs = _grid()
+    with tempfile.TemporaryDirectory(prefix="repro-suite-cache-") as root:
+        jobs1_cold_s, sequential = _timed_leg(specs, jobs=1, store_root=None)
+        jobs4_cold_s, pooled_cold = _timed_leg(specs, jobs=jobs,
+                                               store_root=root)
+        jobs4_warm_s, pooled_warm = _timed_leg(specs, jobs=jobs,
+                                               store_root=root)
+    for name, leg in (("pooled-cold", pooled_cold),
+                      ("pooled-warm", pooled_warm)):
+        for spec, a, b in zip(specs, sequential, leg):
+            if not _outcomes_identical(a, b):
+                raise AssertionError(
+                    f"{name} outcome diverges from sequential for "
+                    f"{spec.platform}/{spec.algorithm}/{spec.dataset}"
+                )
+
+    results = {
+        "grid_cases": len(specs),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "jobs1_cold_s": jobs1_cold_s,
+        "jobs4_cold_s": jobs4_cold_s,
+        "jobs4_warm_s": jobs4_warm_s,
+        "speedup_jobs4_cold": jobs1_cold_s / jobs4_cold_s,
+        "suite_speedup": jobs1_cold_s / jobs4_warm_s,
+        "speedup_floor": SUITE_SPEEDUP_FLOOR,
+    }
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_suite.json"
+    path.write_text(json.dumps(results, indent=2), encoding="utf-8")
+
+    print(f"suite wall-clock over {len(specs)} cases "
+          f"(cpu_count={results['cpu_count']}):")
+    print(f"  jobs=1 cold store : {jobs1_cold_s:.2f}s")
+    print(f"  jobs={jobs} cold store : {jobs4_cold_s:.2f}s "
+          f"({results['speedup_jobs4_cold']:.2f}x)")
+    print(f"  jobs={jobs} warm store : {jobs4_warm_s:.2f}s "
+          f"({results['suite_speedup']:.2f}x)")
+    print(f"wrote {path}")
+    return results
+
+
+def test_suite_parallel(regen):
+    """Pooled warm suite must beat the cold sequential suite >= 2x, with
+    bit-identical outcomes (parity is asserted inside the run)."""
+    results = regen(lambda: run_suite())
+    assert results["suite_speedup"] >= SUITE_SPEEDUP_FLOOR
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the pooled legs")
+    args = parser.parse_args()
+    results = run_suite(jobs=args.jobs)
+    if results["suite_speedup"] < SUITE_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"warm suite speedup {results['suite_speedup']:.2f}x below "
+            f"the {SUITE_SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,13 +7,23 @@ corresponding tables/series; results are also written under
     repro-bench list
     repro-bench table4
     repro-bench fig10 --scale-divisor 4000
+    repro-bench fig10 --jobs 4                  # parallel case executor
+    repro-bench fig10 --cache-dir ~/.cache/rb   # persistent artifact cache
     repro-bench timing --trace out.json   # Chrome/Perfetto trace
     repro-bench all
+
+``--jobs N`` fans independent benchmark cases over N worker processes
+(:mod:`repro.bench.pool`); ``--cache-dir`` makes built datasets and
+finished case outcomes persist across invocations in a
+content-addressed store (:mod:`repro.bench.store`).  Neither changes
+any number in any table — outcomes are bit-identical to a sequential
+cold run; see ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -434,6 +444,37 @@ def main(argv: list[str] | None = None) -> int:
              "when PATH ends in .jsonl; a text summary tree goes to "
              "stderr (see docs/observability.md)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent benchmark cases over N worker processes "
+             "(default 1 = sequential); outcomes are bit-identical at "
+             "any N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        help="persistent content-addressed artifact cache shared across "
+             "processes and invocations (default $REPRO_CACHE_DIR; "
+             "unset = no persistence)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent artifact cache even if --cache-dir "
+             "or $REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--dataset-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="in-process dataset lru_cache size (default "
+             "$REPRO_DATASET_CACHE_SIZE or 32)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -441,21 +482,62 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    if args.trace is None:
-        return _dispatch(args)
+    store = _configure_harness(args)
+    try:
+        if args.trace is None:
+            code = _dispatch(args)
+        else:
+            from repro import obs
 
-    from repro import obs
-
-    with obs.tracing() as tracer:
-        code = _dispatch(args)
-    path = Path(args.trace)
-    if path.suffix == ".jsonl":
-        path.write_text(obs.to_jsonl(tracer), encoding="utf-8")
-    else:
-        path.write_text(obs.chrome_trace_json(tracer), encoding="utf-8")
-    print(obs.summary_tree(tracer), file=sys.stderr)
-    print(f"trace written to {path}", file=sys.stderr)
+            with obs.tracing() as tracer:
+                code = _dispatch(args)
+            path = Path(args.trace)
+            if path.suffix == ".jsonl":
+                path.write_text(obs.to_jsonl(tracer), encoding="utf-8")
+            else:
+                path.write_text(obs.chrome_trace_json(tracer),
+                                encoding="utf-8")
+            print(obs.summary_tree(tracer), file=sys.stderr)
+            print(f"trace written to {path}", file=sys.stderr)
+    finally:
+        _teardown_harness(store)
     return code
+
+
+def _configure_harness(args):
+    """Install the pool default and the persistent store for this run.
+
+    Returns the installed :class:`~repro.bench.store.ArtifactStore` (or
+    ``None``) so :func:`main` can print its stats line and uninstall it.
+    """
+    from repro.bench import pool, store as store_mod
+    from repro.datagen.catalog import set_dataset_cache_size
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    pool.set_default_jobs(args.jobs)
+    if args.dataset_cache_size is not None:
+        set_dataset_cache_size(args.dataset_cache_size)
+    store = None
+    if args.cache_dir and not args.no_cache:
+        store = store_mod.ArtifactStore(args.cache_dir)
+        store_mod.set_artifact_store(store)
+    return store
+
+
+def _teardown_harness(store) -> None:
+    """Print cache stats, then restore the sequential no-store defaults."""
+    from repro.bench import pool, store as store_mod
+
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"cache: dir={store.root} hits={stats['hits']} "
+            f"misses={stats['misses']} puts={stats['puts']}",
+            file=sys.stderr,
+        )
+        store_mod.set_artifact_store(None)
+    pool.set_default_jobs(1)
 
 
 def _dispatch(args) -> int:

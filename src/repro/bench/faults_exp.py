@@ -9,15 +9,19 @@ a crash destroys, so recovery time falls as checkpoint time rises.
 Both experiments run a real algorithm under :mod:`repro.faults`
 schedules and read the priced checkpoint/recovery terms off the run's
 :class:`~repro.cluster.metrics.RunMetrics`; everything is seeded and
-deterministic.
+deterministic.  The interval sweeps submit through the pool executor
+(:func:`repro.bench.pool.run_cases`), so ``repro-bench faults --jobs N``
+meters the intervals in parallel — schedules are frozen, hashable, and
+picklable, which is what lets a faulted case cross a process boundary
+and content-address correctly.
 """
 
 from __future__ import annotations
 
+from repro.bench.pool import run_cases
+from repro.bench.runner import CaseSpec
 from repro.cluster.spec import scale_out
-from repro.datagen.catalog import build_dataset
 from repro.faults import FaultSchedule, MachineCrash
-from repro.platforms.registry import get_platform
 
 __all__ = ["checkpoint_overhead_curve", "recovery_time_curve"]
 
@@ -42,17 +46,22 @@ def checkpoint_overhead_curve(
     reports the checkpoint seconds, the total run seconds, and the
     overhead relative to the unprotected baseline.
     """
-    graph = build_dataset(dataset).graph
     cluster = scale_out(machines)
-    platform = get_platform(platform_name)
-    baseline = platform.run(algorithm, graph, cluster).priced.seconds
-    rows = []
     schedule = FaultSchedule(crashes=(MachineCrash(superstep=_NEVER, machine=0),))
-    for interval in intervals:
-        run = platform.run(
-            algorithm, graph, cluster,
-            fault_schedule=schedule, checkpoint_interval=interval,
-        )
+    specs = [
+        CaseSpec.make(platform_name, algorithm, dataset, cluster=cluster,
+                      apply_red_bar=False)
+    ] + [
+        CaseSpec.make(platform_name, algorithm, dataset, cluster=cluster,
+                      apply_red_bar=False, fault_schedule=schedule,
+                      checkpoint_interval=interval)
+        for interval in intervals
+    ]
+    outcomes = run_cases(specs)
+    baseline = outcomes[0].result.priced.seconds
+    rows = []
+    for interval, outcome in zip(intervals, outcomes[1:]):
+        run = outcome.result
         rows.append({
             "interval": float(interval),
             "checkpoints": float(len(run.timeline.checkpoints)),
@@ -80,18 +89,20 @@ def recovery_time_curve(
     lose more work per crash).  Rows report both terms plus the faulted
     and failure-free totals side by side.
     """
-    graph = build_dataset(dataset).graph
     cluster = scale_out(machines)
-    platform = get_platform(platform_name)
     schedule = FaultSchedule(
         crashes=(MachineCrash(superstep=crash_superstep, machine=crash_machine),)
     )
+    specs = [
+        CaseSpec.make(platform_name, algorithm, dataset, cluster=cluster,
+                      apply_red_bar=False, fault_schedule=schedule,
+                      checkpoint_interval=interval)
+        for interval in intervals
+    ]
+    outcomes = run_cases(specs)
     rows = []
-    for interval in intervals:
-        run = platform.run(
-            algorithm, graph, cluster,
-            fault_schedule=schedule, checkpoint_interval=interval,
-        )
+    for interval, outcome in zip(intervals, outcomes):
+        run = outcome.result
         rows.append({
             "interval": float(interval),
             "replayed_steps": float(run.timeline.replayed_steps()),

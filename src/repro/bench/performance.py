@@ -15,7 +15,8 @@ from repro.datagen.catalog import build_dataset
 from repro.errors import OutOfMemoryError, PlatformError, UnsupportedAlgorithmError
 from repro.platforms.base import CORE_ALGORITHMS
 from repro.platforms.registry import all_platforms, get_platform
-from repro.bench.runner import CaseOutcome, run_case
+from repro.bench.pool import run_cases
+from repro.bench.runner import CaseOutcome, CaseSpec
 
 __all__ = [
     "S8_DATASETS",
@@ -55,15 +56,20 @@ def algorithm_impact(
     scale_divisor: int | None = None,
 ) -> list[CaseOutcome]:
     """Fig. 10: every algorithm on every platform on the three S8
-    datasets (32 threads, 1 machine; red-bar cases on 16 machines)."""
+    datasets (32 threads, 1 machine; red-bar cases on 16 machines).
+
+    The grid submits through the pool executor
+    (:func:`repro.bench.pool.run_cases`); ``repro-bench --jobs`` fans it
+    over worker processes with bit-identical outcomes.
+    """
     names = platforms or tuple(p.name for p in all_platforms())
-    outcomes = []
-    for dataset in datasets:
-        for algorithm in algorithms:
-            for name in names:
-                outcomes.append(run_case(name, algorithm, dataset,
-                                         scale_divisor=scale_divisor))
-    return outcomes
+    specs = [
+        CaseSpec.make(name, algorithm, dataset, scale_divisor=scale_divisor)
+        for dataset in datasets
+        for algorithm in algorithms
+        for name in names
+    ]
+    return run_cases(specs)
 
 
 @dataclass(frozen=True)
@@ -96,29 +102,33 @@ def scale_up_curves(
     metering and pricing is for.
     """
     names = platforms or tuple(p.name for p in all_platforms())
+    specs = [
+        CaseSpec.make(name, algorithm, dataset, apply_red_bar=False)
+        for dataset in datasets
+        for algorithm in algorithms
+        for name in names
+        if (name, algorithm) not in SCALE_UP_EXCLUSIONS
+    ]
+    # Metering fans out through the pool; the per-thread re-pricing
+    # below is pure arithmetic on the returned traces.
+    outcomes = run_cases(specs)
     curves: list[ScalingCurve] = []
-    for dataset in datasets:
-        for algorithm in algorithms:
-            for name in names:
-                if (name, algorithm) in SCALE_UP_EXCLUSIONS:
-                    continue
-                outcome = run_case(name, algorithm, dataset,
-                                   apply_red_bar=False)
-                if outcome.status != "ok":
-                    continue
-                platform = get_platform(name)
-                # GraphX needs minimum thread counts (Section 8.3).
-                usable = tuple(
-                    t for t in threads
-                    if t >= platform.profile.min_threads.get(algorithm, 1)
-                )
-                seconds = tuple(
-                    price_trace(outcome.result.trace, single_machine(t),
-                                platform.profile.cost).seconds
-                    for t in usable
-                )
-                curves.append(ScalingCurve(name, algorithm, dataset,
-                                           usable, seconds))
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.status != "ok":
+            continue
+        platform = get_platform(spec.platform)
+        # GraphX needs minimum thread counts (Section 8.3).
+        usable = tuple(
+            t for t in threads
+            if t >= platform.profile.min_threads.get(spec.algorithm, 1)
+        )
+        seconds = tuple(
+            price_trace(outcome.result.trace, single_machine(t),
+                        platform.profile.cost).seconds
+            for t in usable
+        )
+        curves.append(ScalingCurve(spec.platform, spec.algorithm,
+                                   spec.dataset, usable, seconds))
     return curves
 
 
@@ -138,22 +148,25 @@ def scale_out_curves(
     names = platforms or tuple(
         p.name for p in all_platforms() if not p.profile.single_machine_only
     )
+    specs = [
+        CaseSpec.make(name, algorithm, dataset, apply_red_bar=False)
+        for dataset in datasets
+        for algorithm in algorithms
+        for name in names
+    ]
+    outcomes = run_cases(specs)
     curves: list[ScalingCurve] = []
-    for dataset in datasets:
-        for algorithm in algorithms:
-            for name in names:
-                platform = get_platform(name)
-                outcome = run_case(name, algorithm, dataset,
-                                   apply_red_bar=False)
-                if outcome.status != "ok":
-                    continue
-                seconds = tuple(
-                    price_trace(outcome.result.trace, scale_out(m),
-                                platform.profile.cost).seconds
-                    for m in machines
-                )
-                curves.append(ScalingCurve(name, algorithm, dataset,
-                                           machines, seconds))
+    for spec, outcome in zip(specs, outcomes):
+        if outcome.status != "ok":
+            continue
+        platform = get_platform(spec.platform)
+        seconds = tuple(
+            price_trace(outcome.result.trace, scale_out(m),
+                        platform.profile.cost).seconds
+            for m in machines
+        )
+        curves.append(ScalingCurve(spec.platform, spec.algorithm,
+                                   spec.dataset, machines, seconds))
     return curves
 
 
@@ -178,22 +191,26 @@ def throughput_table(
         p.name for p in all_platforms() if not p.profile.single_machine_only
     )
     cluster = scale_out(16)
+    specs = [
+        CaseSpec.make(name, algorithm, dataset, cluster=cluster,
+                      apply_red_bar=False)
+        for dataset in datasets
+        for algorithm in algorithms
+        for name in names
+    ]
+    outcomes = run_cases(specs)
     rows: list[dict[str, object]] = []
-    for dataset in datasets:
-        for algorithm in algorithms:
-            for name in names:
-                outcome = run_case(name, algorithm, dataset, cluster=cluster,
-                                   apply_red_bar=False)
-                rows.append({
-                    "platform": name,
-                    "algorithm": algorithm,
-                    "dataset": dataset,
-                    "status": outcome.status,
-                    "edges_per_s": (
-                        outcome.result.metrics.throughput_edges_per_second
-                        if outcome.status == "ok" else float("nan")
-                    ),
-                })
+    for spec, outcome in zip(specs, outcomes):
+        rows.append({
+            "platform": spec.platform,
+            "algorithm": spec.algorithm,
+            "dataset": spec.dataset,
+            "status": outcome.status,
+            "edges_per_s": (
+                outcome.result.metrics.throughput_edges_per_second
+                if outcome.status == "ok" else float("nan")
+            ),
+        })
     return rows
 
 
@@ -209,9 +226,13 @@ def timing_breakdown_table(
     canonical definition of the Table-5 vocabulary (upload, running
     time, makespan, throughput)."""
     names = platforms or tuple(p.name for p in all_platforms())
+    specs = [
+        CaseSpec.make(name, algorithm, dataset, apply_red_bar=False)
+        for name in names
+    ]
+    outcomes = run_cases(specs)
     rows: list[dict[str, object]] = []
-    for name in names:
-        outcome = run_case(name, algorithm, dataset, apply_red_bar=False)
+    for name, outcome in zip(names, outcomes):
         if outcome.status != "ok":
             rows.append({"platform": name, "status": outcome.status})
             continue

@@ -9,6 +9,18 @@ scaling sweeps.  Each outcome carries a
 the upload/run/makespan/throughput measurement vocabulary lives on that
 class, not here.
 
+Beyond the per-session memo, :func:`run_case` consults the persistent
+content-addressed store (:mod:`repro.bench.store`) when one is
+installed: finished :class:`CaseOutcome`\\ s are fetched and stored by
+content key, so pool workers (:mod:`repro.bench.pool`) and repeated
+suite invocations share executions across processes.  Caching never
+changes results — a stored outcome is the pickled value of the
+identical cold execution (parity-tested).
+
+A grid entry is described declaratively by a :class:`CaseSpec`, a
+frozen picklable value object; :meth:`CaseSpec.run` is exactly
+:func:`run_case`.  Specs are what the pool ships to worker processes.
+
 When tracing is enabled (:mod:`repro.obs`), every executed case opens a
 ``case/...`` span with a wall-clock ``build-dataset`` child and, for
 successful runs, ``upload``/``run``/``writeback`` phase spans in
@@ -17,7 +29,8 @@ successful runs, ``upload``/``run``/``writeback`` phase spans in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.cluster.spec import ClusterSpec, single_machine
 from repro.core.graph import Graph
@@ -34,7 +47,9 @@ from repro.platforms.registry import get_platform
 
 __all__ = [
     "CaseOutcome",
+    "CaseSpec",
     "run_case",
+    "memoize_outcome",
     "clear_case_cache",
     "RED_BAR_CASES",
     "RETRY_LIMIT",
@@ -91,7 +106,93 @@ class CaseOutcome:
         return self.result.priced.seconds if self.result else None
 
 
+@dataclass(frozen=True)
+class CaseSpec:
+    """One grid entry, as a frozen picklable value object.
+
+    ``params`` is the extra-keyword dict normalized to a sorted item
+    tuple so specs hash, pickle, and content-address stably; build specs
+    with :meth:`make`, run them with :meth:`run`.  A spec captures the
+    *request* — red-bar promotion and the default cluster are resolved
+    at run time, exactly as when calling :func:`run_case` directly.
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    cluster: ClusterSpec | None = None
+    scale_divisor: int | None = None
+    apply_red_bar: bool = True
+    weighted: bool = False
+    params: tuple[tuple[str, Any], ...] = field(default=())
+
+    @classmethod
+    def make(
+        cls,
+        platform: str,
+        algorithm: str,
+        dataset: str,
+        *,
+        cluster: ClusterSpec | None = None,
+        scale_divisor: int | None = None,
+        apply_red_bar: bool = True,
+        weighted: bool = False,
+        **params,
+    ) -> "CaseSpec":
+        """Build a spec with the same signature as :func:`run_case`."""
+        return cls(
+            platform=platform,
+            algorithm=algorithm,
+            dataset=dataset,
+            cluster=cluster,
+            scale_divisor=scale_divisor,
+            apply_red_bar=apply_red_bar,
+            weighted=weighted,
+            params=tuple(sorted(params.items())),
+        )
+
+    def run(self) -> CaseOutcome:
+        """Execute (or fetch) this case via :func:`run_case`."""
+        return run_case(
+            self.platform,
+            self.algorithm,
+            self.dataset,
+            cluster=self.cluster,
+            scale_divisor=self.scale_divisor,
+            apply_red_bar=self.apply_red_bar,
+            weighted=self.weighted,
+            **dict(self.params),
+        )
+
+
 _CASE_CACHE: dict[tuple, CaseOutcome] = {}
+
+
+def _resolve(spec: CaseSpec):
+    """Resolve a spec's platform object, effective cluster, red-bar flag,
+    and the key shared by the session memo and the persistent store."""
+    platform = get_platform(spec.platform)
+    cluster = spec.cluster or single_machine(32)
+    red_bar = False
+    if spec.apply_red_bar and (platform.name, spec.algorithm) in RED_BAR_CASES:
+        # Promote to 16 machines keeping every other knob of the
+        # caller's spec (bandwidths, latencies, disk) intact.
+        cluster = replace(cluster, machines=16)
+        red_bar = True
+    key = (platform.name, spec.algorithm, spec.dataset, cluster,
+           spec.scale_divisor, spec.weighted, spec.params)
+    return platform, cluster, red_bar, key
+
+
+def memoize_outcome(spec: CaseSpec, outcome: CaseOutcome) -> None:
+    """Seed the session memo with an outcome computed elsewhere.
+
+    The pool executor calls this in the parent process for outcomes its
+    workers produced, so follow-up sequential code (re-pricing sweeps,
+    summary tables) hits the memo instead of re-executing.
+    """
+    _, _, _, key = _resolve(spec)
+    _CASE_CACHE[key] = outcome
 
 
 def run_case(
@@ -111,24 +212,35 @@ def run_case(
     red-bar cases are promoted to 16 machines when ``apply_red_bar`` is
     set, as in Fig. 10.  ``weighted`` attaches deterministic uniform
     edge weights (the paper's SSSP setting on weighted variants).
-    """
-    platform = get_platform(platform_name)
-    cluster = cluster or single_machine(32)
-    red_bar = False
-    if apply_red_bar and (platform.name, algorithm) in RED_BAR_CASES:
-        # Promote to 16 machines keeping every other knob of the
-        # caller's spec (bandwidths, latencies, disk) intact.
-        cluster = replace(cluster, machines=16)
-        red_bar = True
 
-    key = (platform.name, algorithm, dataset, cluster, scale_divisor,
-           weighted, tuple(sorted(params.items())))
+    Lookup order: session memo, then the persistent content-addressed
+    store (when installed via
+    :func:`repro.bench.store.set_artifact_store`), then a real
+    execution — whose outcome is written back to both layers.
+    """
+    spec = CaseSpec.make(
+        platform_name, algorithm, dataset, cluster=cluster,
+        scale_divisor=scale_divisor, apply_red_bar=apply_red_bar,
+        weighted=weighted, **params,
+    )
+    platform, cluster, red_bar, key = _resolve(spec)
     tracer = get_tracer()
     cached = _CASE_CACHE.get(key)
     if cached is not None:
         if tracer.enabled:
             tracer.add(CASE_CACHE_HITS, 1.0)
         return cached
+
+    from repro.bench.store import get_artifact_store
+
+    store = get_artifact_store()
+    if store is not None:
+        stored = store.get("case", key)
+        if stored is not None:
+            _CASE_CACHE[key] = stored
+            if tracer.enabled:
+                tracer.add(CASE_CACHE_HITS, 1.0)
+            return stored
 
     with tracer.span(
         f"case/{platform.name}/{algorithm}/{dataset}",
@@ -152,7 +264,7 @@ def run_case(
 
                 graph = uniform_weights(graph, seed=0)
         outcome = _execute(platform, algorithm, dataset, graph, cluster,
-                           red_bar, params)
+                           red_bar, dict(spec.params))
         if outcome.status == "ok":
             # The Table-5 phases are cost-model seconds, not wall time;
             # record them as spans on the simulated track.
@@ -170,6 +282,8 @@ def run_case(
                 tracer.record_span("recovery", metrics.recovery_seconds,
                                    category="simulated")
     _CASE_CACHE[key] = outcome
+    if store is not None:
+        store.put("case", key, outcome)
     return outcome
 
 

@@ -47,7 +47,10 @@ from repro.datagen.catalog import (
     DatasetSpec,
     build_dataset,
     clear_dataset_cache,
+    dataset_cache_info,
     dataset_names,
+    set_dataset_cache_size,
+    set_dataset_persistence,
 )
 
 __all__ = [
@@ -84,5 +87,8 @@ __all__ = [
     "DatasetInstance",
     "build_dataset",
     "clear_dataset_cache",
+    "dataset_cache_info",
     "dataset_names",
+    "set_dataset_cache_size",
+    "set_dataset_persistence",
 ]

@@ -14,8 +14,10 @@ entry for the EXPERIMENTS.md paper-vs-measured comparison.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Protocol
 
 from repro.datagen.fft import (
     FFTDG,
@@ -25,6 +27,7 @@ from repro.datagen.fft import (
 )
 from repro.datagen.base import GenerationResult
 from repro.errors import GeneratorParameterError
+from repro.obs import DATASET_CACHE_HITS, DATASET_CACHE_MISSES, get_tracer
 
 __all__ = [
     "DatasetSpec",
@@ -33,10 +36,23 @@ __all__ = [
     "dataset_names",
     "build_dataset",
     "clear_dataset_cache",
+    "dataset_cache_info",
+    "set_dataset_cache_size",
+    "set_dataset_persistence",
+    "DatasetPersistence",
 ]
 
 #: Default down-scaling factor from the paper's vertex counts.
 DEFAULT_SCALE_DIVISOR = 2000
+
+#: Environment knob for the in-process dataset ``lru_cache`` size
+#: (also settable at runtime via :func:`set_dataset_cache_size` or
+#: ``repro-bench --dataset-cache-size``).
+CACHE_SIZE_ENV = "REPRO_DATASET_CACHE_SIZE"
+
+#: Default in-process cache size when neither the env var nor the
+#: runtime knob overrides it.
+DEFAULT_CACHE_SIZE = 32
 
 #: Default down-scaling factor for mean degree.  The paper's datasets have
 #: mean degrees of 85–265, which at reproduction scale would make the
@@ -117,6 +133,41 @@ def dataset_names() -> list[str]:
     return list(DATASETS)
 
 
+class DatasetPersistence(Protocol):
+    """What the catalog needs from a persistent dataset layer.
+
+    The bench harness's content-addressed store
+    (:class:`repro.bench.store.ArtifactStore`) implements this; the
+    catalog itself stays storage-agnostic — ``datagen`` must not import
+    ``bench``.
+    """
+
+    def load_dataset(self, payload: tuple) -> DatasetInstance | None:
+        """Return the stored instance for ``payload``, or ``None``."""
+
+    def store_dataset(self, payload: tuple, instance: DatasetInstance) -> None:
+        """Persist ``instance`` under ``payload``."""
+
+
+#: The pluggable persistent layer consulted under the ``lru_cache``
+#: (None = generate on every in-process miss, the historical behavior).
+_PERSISTENCE: DatasetPersistence | None = None
+
+
+def set_dataset_persistence(
+    layer: DatasetPersistence | None,
+) -> DatasetPersistence | None:
+    """Install (or remove, with ``None``) the persistent dataset layer.
+
+    Returns the previous layer.  The in-process cache is left intact:
+    already-memoized instances keep being served from memory.
+    """
+    global _PERSISTENCE
+    previous = _PERSISTENCE
+    _PERSISTENCE = layer
+    return previous
+
+
 def build_dataset(
     name: str,
     *,
@@ -128,7 +179,13 @@ def build_dataset(
 
     Results are memoized per ``(name, scale_divisor, degree_divisor,
     seed)`` because the benchmark suite reuses the same datasets across
-    many experiments.
+    many experiments.  Two cache layers are consulted in order: the
+    in-process ``lru_cache`` (size via :func:`set_dataset_cache_size` or
+    ``$REPRO_DATASET_CACHE_SIZE``), then the pluggable persistent layer
+    (:func:`set_dataset_persistence`), so pool workers and repeated
+    invocations share generated datasets instead of rebuilding.  When
+    tracing is enabled, in-process hits and misses surface as the
+    ``dataset_cache_hits`` / ``dataset_cache_misses`` counters.
     """
     if name not in DATASETS:
         raise GeneratorParameterError(
@@ -142,11 +199,34 @@ def build_dataset(
         raise GeneratorParameterError(
             f"degree_divisor must be >= 1, got {degree_divisor}"
         )
-    return _build_cached(name, scale_divisor, degree_divisor, seed)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _build_cached(name, scale_divisor, degree_divisor, seed)
+    hits_before = _build_cached.cache_info().hits
+    instance = _build_cached(name, scale_divisor, degree_divisor, seed)
+    if _build_cached.cache_info().hits > hits_before:
+        tracer.add(DATASET_CACHE_HITS, 1.0)
+    else:
+        tracer.add(DATASET_CACHE_MISSES, 1.0)
+    return instance
 
 
-@lru_cache(maxsize=32)
-def _build_cached(
+def _build(
+    name: str, scale_divisor: int, degree_divisor: int, seed: int
+) -> DatasetInstance:
+    """Build one dataset, consulting the persistent layer first."""
+    payload = (name, scale_divisor, degree_divisor, seed)
+    if _PERSISTENCE is not None:
+        stored = _PERSISTENCE.load_dataset(payload)
+        if stored is not None:
+            return stored
+    instance = _generate(name, scale_divisor, degree_divisor, seed)
+    if _PERSISTENCE is not None:
+        _PERSISTENCE.store_dataset(payload, instance)
+    return instance
+
+
+def _generate(
     name: str, scale_divisor: int, degree_divisor: int, seed: int
 ) -> DatasetInstance:
     spec = DATASETS[name]
@@ -171,6 +251,41 @@ def _build_cached(
     return DatasetInstance(
         spec=spec, result=result, scale_divisor=scale_divisor, seed=seed
     )
+
+
+def _default_cache_size() -> int:
+    raw = os.environ.get(CACHE_SIZE_ENV, "")
+    try:
+        size = int(raw)
+    except ValueError:
+        return DEFAULT_CACHE_SIZE
+    return size if size >= 1 else DEFAULT_CACHE_SIZE
+
+
+def _make_cache(maxsize: int):
+    return lru_cache(maxsize=maxsize)(_build)
+
+
+_build_cached = _make_cache(_default_cache_size())
+
+
+def set_dataset_cache_size(maxsize: int) -> None:
+    """Resize the in-process dataset cache (drops current entries).
+
+    The persistent layer, if any, is unaffected — re-misses refill from
+    disk rather than regenerating.
+    """
+    if maxsize < 1:
+        raise GeneratorParameterError(
+            f"dataset cache size must be >= 1, got {maxsize}"
+        )
+    global _build_cached
+    _build_cached = _make_cache(maxsize)
+
+
+def dataset_cache_info():
+    """``functools.lru_cache`` statistics of the in-process cache."""
+    return _build_cached.cache_info()
 
 
 def clear_dataset_cache() -> None:

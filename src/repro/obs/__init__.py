@@ -27,10 +27,16 @@ from repro.obs.counters import (
     CHECKPOINTS_WRITTEN,
     COMPUTE_OPS,
     CRASHES_INJECTED,
+    DATASET_CACHE_HITS,
+    DATASET_CACHE_MISSES,
     GEN_EDGES,
     GEN_TRIALS,
     MSG_BYTES,
     MSG_COUNT,
+    POOL_TASKS,
+    STORE_HITS,
+    STORE_MISSES,
+    STORE_PUTS,
     SUPERSTEPS,
     SUPERSTEPS_REPLAYED,
     VOCABULARY,
@@ -78,6 +84,12 @@ __all__ = [
     "CRASHES_INJECTED",
     "SUPERSTEPS_REPLAYED",
     "CASE_RETRIES",
+    "DATASET_CACHE_HITS",
+    "DATASET_CACHE_MISSES",
+    "STORE_HITS",
+    "STORE_MISSES",
+    "STORE_PUTS",
+    "POOL_TASKS",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",

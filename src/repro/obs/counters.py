@@ -37,6 +37,12 @@ __all__ = [
     "CRASHES_INJECTED",
     "SUPERSTEPS_REPLAYED",
     "CASE_RETRIES",
+    "DATASET_CACHE_HITS",
+    "DATASET_CACHE_MISSES",
+    "STORE_HITS",
+    "STORE_MISSES",
+    "STORE_PUTS",
+    "POOL_TASKS",
     "CounterRegistry",
     "note_superstep",
 ]
@@ -74,6 +80,22 @@ CRASHES_INJECTED = "crashes_injected"
 SUPERSTEPS_REPLAYED = "supersteps_replayed"
 #: Transient-fault retries performed by ``bench.runner.run_case``.
 CASE_RETRIES = "case_retries"
+#: Catalog datasets served from the in-process ``lru_cache``
+#: (``datagen.catalog.build_dataset``).
+DATASET_CACHE_HITS = "dataset_cache_hits"
+#: Catalog datasets that had to be generated (or pulled from the
+#: persistent store) because the in-process cache missed.
+DATASET_CACHE_MISSES = "dataset_cache_misses"
+#: Artifacts served from the persistent content-addressed store
+#: (``repro.bench.store.ArtifactStore``).
+STORE_HITS = "store_hits"
+#: Persistent-store lookups that found nothing (or an unreadable entry).
+STORE_MISSES = "store_misses"
+#: Artifacts written to the persistent store.
+STORE_PUTS = "store_puts"
+#: Benchmark cases dispatched to pool worker processes
+#: (``repro.bench.pool.run_cases``).
+POOL_TASKS = "pool_tasks"
 
 #: The unified counter vocabulary: name -> one-line definition naming the
 #: subsystem that previously owned the quantity.
@@ -121,6 +143,27 @@ VOCABULARY: dict[str, str] = {
     CASE_RETRIES: (
         "Transient-fault retries performed by run_case's "
         "retry-with-backoff loop."
+    ),
+    DATASET_CACHE_HITS: (
+        "Catalog datasets served from the in-process lru_cache "
+        "(datagen.catalog.build_dataset)."
+    ),
+    DATASET_CACHE_MISSES: (
+        "Catalog datasets generated (or pulled from the persistent "
+        "store) on an in-process cache miss."
+    ),
+    STORE_HITS: (
+        "Artifacts served from the persistent content-addressed store "
+        "(repro.bench.store.ArtifactStore)."
+    ),
+    STORE_MISSES: (
+        "Persistent-store lookups that found nothing (or an unreadable "
+        "entry)."
+    ),
+    STORE_PUTS: "Artifacts written to the persistent store.",
+    POOL_TASKS: (
+        "Benchmark cases dispatched to pool worker processes "
+        "(repro.bench.pool.run_cases)."
     ),
 }
 

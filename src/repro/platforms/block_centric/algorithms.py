@@ -17,7 +17,11 @@ import numpy as np
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
 from repro.platforms.block_centric.engine import BlockCentricEngine
-from repro.platforms.common import forward_adjacency
+from repro.platforms.common import (
+    expand_segments,
+    forward_adjacency,
+    forward_edge_arrays,
+)
 
 __all__ = [
     "pagerank_blocks",
@@ -27,6 +31,7 @@ __all__ = [
     "bc_blocks",
     "cd_blocks",
     "tc_blocks",
+    "tc_blocks_bulk",
     "kc_blocks",
     "bfs_blocks",
     "lcc_blocks",
@@ -401,6 +406,60 @@ def tc_blocks(engine: BlockCentricEngine) -> int:
                 engine.send(bu, b, 8.0 * forward[u].size)
             engine.charge(b, float(fv.size + forward[u].size))
             total += int(np.intersect1d(fv, forward[u], assume_unique=True).size)
+    engine.end_round()
+    return total
+
+
+def tc_blocks_bulk(engine: BlockCentricEngine) -> int:
+    """Array-native twin of :func:`tc_blocks`, metering bit-identically.
+
+    The scalar pass charges ``fdeg(v) + fdeg(u)`` per forward edge and
+    pulls each remote forward list once per (rooting block, vertex)
+    pair; both are integer-valued, so summing them with ``np.bincount``
+    instead of one :meth:`~.engine.BlockCentricEngine.charge`/
+    :meth:`~.engine.BlockCentricEngine.send` call per edge cannot change
+    the float64 totals — only the Python-loop wall-clock.  Triangles are
+    wedges ``(v, u, w)`` with ``u`` forward of ``v`` and ``w`` forward
+    of ``u``, closed when ``(v, w)`` is itself a forward edge — a sorted
+    key-membership test over the flat edge list.
+    """
+    graph = engine.graph
+    block_of = engine.block_of
+    n = graph.num_vertices
+    findptr, fsrc, fdst = forward_edge_arrays(graph)
+    fdeg = np.diff(findptr)
+    total = 0
+    engine.begin_round()
+    if fsrc.size:
+        charges = (fdeg[fsrc] + fdeg[fdst]).astype(np.float64)
+        ops = np.bincount(block_of[fsrc], weights=charges,
+                          minlength=engine.parts)
+        for b in np.flatnonzero(ops).tolist():
+            engine.charge(b, float(ops[b]))
+
+        # One pull per unique (rooting block, remote vertex) pair,
+        # aggregated into a single metering call per block pair.
+        cross = block_of[fdst] != block_of[fsrc]
+        pull_key = block_of[fsrc[cross]].astype(np.int64) * n + fdst[cross]
+        uniq = np.unique(pull_key)
+        root_block = uniq // n
+        remote = uniq % n
+        pair = block_of[remote] * engine.parts + root_block
+        pair_ids, pair_pos = np.unique(pair, return_inverse=True)
+        counts = np.bincount(pair_pos)
+        nbytes = np.bincount(pair_pos, weights=8.0 * fdeg[remote])
+        for p, cnt, byt in zip(pair_ids.tolist(), counts.tolist(),
+                               nbytes.tolist()):
+            engine.send_block(p // engine.parts, p % engine.parts,
+                              float(byt), int(cnt))
+
+        # edge_keys is sorted because (fsrc, fdst) is lexsorted.
+        slots, owner_pos, _ = expand_segments(findptr, fdst)
+        wedge_keys = fsrc[owner_pos] * n + fdst[slots]
+        edge_keys = fsrc * n + fdst
+        hit = np.searchsorted(edge_keys, wedge_keys)
+        hit = np.minimum(hit, edge_keys.size - 1)
+        total = int(np.count_nonzero(edge_keys[hit] == wedge_keys))
     engine.end_round()
     return total
 

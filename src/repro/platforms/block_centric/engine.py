@@ -74,6 +74,16 @@ class BlockCentricEngine:
         """Meter boundary messages between blocks."""
         self.recorder.add_message(src_block, dst_block, nbytes, count=count)
 
+    def send_block(self, src_block: int, dst_block: int, total_bytes: float,
+                   count: int) -> None:
+        """Meter ``count`` boundary messages totalling ``total_bytes``.
+
+        The bulk twin of :meth:`send` for vectorized passes that
+        aggregate variable-size pulls per block pair before metering.
+        """
+        self.recorder.add_message_block(src_block, dst_block, total_bytes,
+                                        count)
+
     # -- structure helpers ------------------------------------------------
 
     def is_cut_edge(self, u: int, v: int) -> bool:

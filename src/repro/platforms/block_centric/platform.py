@@ -17,11 +17,12 @@ from repro.platforms.block_centric.algorithms import (
     pagerank_blocks,
     sssp_blocks,
     tc_blocks,
+    tc_blocks_bulk,
     wcc_blocks,
 )
 from repro.obs import get_tracer
 from repro.platforms.block_centric.engine import BlockCentricEngine
-from repro.platforms.common import EngineOptions
+from repro.platforms.common import EngineMode, EngineOptions
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["BlockCentricPlatform"]
@@ -49,13 +50,19 @@ class BlockCentricPlatform(Platform):
         params: dict,
         options: EngineOptions,
     ) -> Any:
-        # The block-centric engine has a single execution path and is
-        # recorder-managed under faults, so ``options`` carries nothing
-        # it needs to read.
+        # TC has scalar and bulk passes (metering-identical; the parity
+        # suite asserts it); every other algorithm has a single path and
+        # ignores the mode knob.
+        attrs = {}
+        if algorithm == "tc":
+            attrs["path"] = (
+                "scalar" if options.mode is EngineMode.SCALAR else "bulk"
+            )
         with get_tracer().span(
-            f"block-centric/{algorithm}", category="engine"
+            f"block-centric/{algorithm}", category="engine", **attrs
         ):
-            return self._dispatch(algorithm, graph, recorder, params)
+            return self._dispatch(algorithm, graph, recorder, params,
+                                  options.mode)
 
     def _dispatch(
         self,
@@ -63,6 +70,7 @@ class BlockCentricPlatform(Platform):
         graph: Graph,
         recorder: TraceRecorder,
         params: dict,
+        mode: EngineMode,
     ) -> Any:
         engine = BlockCentricEngine(graph, recorder)
         if algorithm == "pr":
@@ -82,7 +90,9 @@ class BlockCentricPlatform(Platform):
         if algorithm == "cd":
             return cd_blocks(engine)
         if algorithm == "tc":
-            return tc_blocks(engine)
+            if mode is EngineMode.SCALAR:
+                return tc_blocks(engine)
+            return tc_blocks_bulk(engine)
         if algorithm == "kc":
             return kc_blocks(engine, k=params.get("k", 4))
         if algorithm == "bfs":

@@ -1,0 +1,102 @@
+"""Pickle round-trips for everything that crosses the pool boundary.
+
+The parallel executor ships :class:`CaseSpec` to workers and
+:class:`CaseOutcome` (wrapping :class:`PlatformRunResult` and, for
+faulted runs, a ``FaultTimeline``) back; the persistent store pickles
+the same objects to disk.  A regression here silently breaks ``--jobs``
+and ``--cache-dir``, so these tests pin the round-trip for each type —
+including the numpy payloads a naive dataclass equality would miss.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.bench import CaseSpec, clear_case_cache, run_case
+from repro.cluster import single_machine
+from repro.faults import FaultSchedule, MachineCrash, StragglerWindow
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _assert_outcomes_identical(a, b):
+    assert (a.platform, a.algorithm, a.dataset, a.status, a.detail,
+            a.red_bar, a.attempts, a.retry_backoff_seconds) == (
+        b.platform, b.algorithm, b.dataset, b.status, b.detail,
+        b.red_bar, b.attempts, b.retry_backoff_seconds)
+    if a.result is None:
+        assert b.result is None
+        return
+    ra, rb = a.result, b.result
+    assert np.array_equal(np.asarray(ra.values), np.asarray(rb.values))
+    assert ra.priced == rb.priced
+    assert ra.metrics == rb.metrics
+    assert ra.cluster == rb.cluster
+    assert ra.trace.supersteps == rb.trace.supersteps
+    for sa, sb in zip(ra.trace.steps, rb.trace.steps):
+        assert np.array_equal(sa.ops, sb.ops)
+        assert np.array_equal(sa.msg_count, sb.msg_count)
+        assert np.array_equal(sa.msg_bytes, sb.msg_bytes)
+    assert ra.timeline == rb.timeline
+
+
+class TestFaultSchedulePickle:
+    def test_schedule_roundtrips_and_stays_hashable(self):
+        schedule = FaultSchedule(
+            crashes=(MachineCrash(superstep=3, machine=1),),
+            stragglers=(StragglerWindow(machine=0, factor=2.0,
+                                        start_superstep=1,
+                                        end_superstep=4),),
+            retransmit_rate=0.01,
+            seed=7,
+        )
+        clone = _roundtrip(schedule)
+        assert clone == schedule
+        assert hash(clone) == hash(schedule)
+
+    def test_crash_roundtrip(self):
+        crash = MachineCrash(superstep=5, machine=2)
+        assert _roundtrip(crash) == crash
+
+
+class TestCaseSpecPickle:
+    def test_spec_roundtrips_with_params_and_cluster(self):
+        schedule = FaultSchedule(crashes=(MachineCrash(superstep=2, machine=0),))
+        spec = CaseSpec.make(
+            "Pregel+", "pr", "S8-Std", cluster=single_machine(8),
+            apply_red_bar=False, fault_schedule=schedule,
+            checkpoint_interval=2,
+        )
+        clone = _roundtrip(spec)
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+
+class TestCaseOutcomePickle:
+    def test_ok_outcome_roundtrips_bit_identically(self):
+        clear_case_cache()
+        outcome = run_case("Ligra", "pr", "S8-Std")
+        assert outcome.status == "ok"
+        _assert_outcomes_identical(outcome, _roundtrip(outcome))
+
+    def test_faulted_outcome_roundtrips_with_timeline(self):
+        clear_case_cache()
+        schedule = FaultSchedule(crashes=(MachineCrash(superstep=2, machine=1),))
+        outcome = run_case(
+            "Pregel+", "pr", "S8-Std", cluster=single_machine(8),
+            apply_red_bar=False, fault_schedule=schedule,
+            checkpoint_interval=2,
+        )
+        assert outcome.status == "ok"
+        assert outcome.result.timeline is not None
+        clone = _roundtrip(outcome)
+        _assert_outcomes_identical(outcome, clone)
+        assert clone.result.timeline.crashes == outcome.result.timeline.crashes
+
+    def test_unsupported_outcome_roundtrips(self):
+        clear_case_cache()
+        outcome = run_case("G-thinker", "pr", "S8-Std")
+        assert outcome.status == "unsupported"
+        _assert_outcomes_identical(outcome, _roundtrip(outcome))

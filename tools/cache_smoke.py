@@ -1,0 +1,73 @@
+"""CI smoke: the persistent cache serves a repeated pooled run.
+
+Runs a tiny grid through the ``repro-bench`` CLI twice with ``--jobs 2``
+against the same ``--cache-dir``:
+
+* the first (cold) run must miss and populate the store;
+* the second (warm) run must be served from it — nonzero hit counter,
+  zero misses, zero puts — and print byte-identical tables.
+
+Exit status is non-zero on any violation, so CI catches both a broken
+store (nothing persisted) and a broken key scheme (warm run re-executes
+or re-addresses).
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+STATS = re.compile(
+    r"cache: dir=.* hits=(?P<hits>\d+) misses=(?P<misses>\d+) "
+    r"puts=(?P<puts>\d+)"
+)
+
+
+def _run(cache_dir: str) -> tuple[str, dict[str, int]]:
+    """One CLI invocation; returns (stdout, parsed cache stats)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.cli", "timing",
+         "--jobs", "2", "--cache-dir", cache_dir],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"repro-bench exited {proc.returncode}:\n{proc.stderr}"
+        )
+    match = STATS.search(proc.stderr)
+    if match is None:
+        raise SystemExit(
+            f"no cache-stats line on stderr:\n{proc.stderr}"
+        )
+    return proc.stdout, {k: int(v) for k, v in match.groupdict().items()}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache:
+        cold_out, cold = _run(cache)
+        warm_out, warm = _run(cache)
+
+    print(f"cold: {cold}")
+    print(f"warm: {warm}")
+    failures = []
+    if cold["puts"] == 0:
+        failures.append("cold run stored nothing")
+    if warm["hits"] == 0:
+        failures.append("warm run hit nothing")
+    if warm["misses"] != 0 or warm["puts"] != 0:
+        failures.append(
+            f"warm run was not served entirely from cache "
+            f"(misses={warm['misses']}, puts={warm['puts']})"
+        )
+    if warm_out != cold_out:
+        failures.append("warm run printed different tables than cold run")
+    if failures:
+        raise SystemExit("; ".join(failures))
+    print("cache smoke ok: warm run served entirely from the store")
+
+
+if __name__ == "__main__":
+    main()
