@@ -35,10 +35,18 @@ def k_hop(graph: Graph, source: int, k: int) -> np.ndarray:
 
 
 def local_clustering_coefficient(graph: Graph) -> np.ndarray:
-    """Per-vertex LCC via triangle counts: ``2 * tri(v) / (d(v) (d(v)-1))``."""
+    """Per-vertex LCC via triangle counts: ``2 * tri(v) / (d(v) (d(v)-1))``.
+
+    ``d(v)`` is the *simple-graph* degree — a self-loop contributes no
+    wedge — and degree-0/1 vertices get coefficient 0.0 rather than the
+    NaN a 0/0 division would produce.
+    """
     und = graph.to_undirected()
     triangles = per_vertex_triangles(und).astype(np.float64)
-    degrees = und.out_degrees().astype(np.float64)
+    n = und.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(und.indptr))
+    loops = np.bincount(src[src == und.indices], minlength=n)
+    degrees = und.out_degrees().astype(np.float64) - loops
     wedges = degrees * (degrees - 1.0)
     with np.errstate(divide="ignore", invalid="ignore"):
         lcc = np.where(wedges > 0, 2.0 * triangles / wedges, 0.0)

@@ -519,7 +519,12 @@ def _configure_harness(args):
     if args.dataset_cache_size is not None:
         set_dataset_cache_size(args.dataset_cache_size)
     store = None
-    if args.cache_dir and not args.no_cache:
+    if args.no_cache:
+        # Also drop any ambient store installed by embedding code: the
+        # run must be cache-free, and teardown must not print a stats
+        # line (previously one with all-zero counters could appear).
+        store_mod.set_artifact_store(None)
+    elif args.cache_dir:
         store = store_mod.ArtifactStore(args.cache_dir)
         store_mod.set_artifact_store(store)
     return store

@@ -40,6 +40,7 @@ from repro.datagen.base import (
 )
 from repro.errors import GeneratorParameterError
 from repro.obs import GEN_EDGES, GEN_TRIALS, get_tracer
+from repro.platforms.kernels import ChunkedDrawBuffer
 
 __all__ = ["FFTDGConfig", "FFTDG", "generate_fft", "groups_for_diameter"]
 
@@ -280,40 +281,9 @@ class FFTDG:
         return np.concatenate(src_chunks), np.concatenate(dst_chunks), counter
 
 
-class _DrawBuffer:
-    """Batched uniform(0, 1] draws (one numpy call per 64k draws)."""
-
-    def __init__(self, rng: np.random.Generator, size: int = 65536) -> None:
-        self._rng = rng
-        self._size = size
-        self._buffer = rng.random(size)
-        self._cursor = 0
-
-    def next(self) -> float:
-        if self._cursor >= self._size:
-            self._buffer = self._rng.random(self._size)
-            self._cursor = 0
-        value = self._buffer[self._cursor]
-        self._cursor += 1
-        # Map [0, 1) to (0, 1]: f = 1 - value keeps 0 excluded.
-        return 1.0 - value
-
-    def take(self, count: int) -> np.ndarray:
-        """``count`` draws at once, consuming the same stream ``next``
-        reads (refills happen at the same 64k boundaries)."""
-        out = np.empty(count, dtype=np.float64)
-        filled = 0
-        while filled < count:
-            if self._cursor >= self._size:
-                self._buffer = self._rng.random(self._size)
-                self._cursor = 0
-            avail = min(self._size - self._cursor, count - filled)
-            out[filled:filled + avail] = self._buffer[
-                self._cursor:self._cursor + avail
-            ]
-            self._cursor += avail
-            filled += avail
-        return 1.0 - out
+# The chunked-draw machinery lives with the other shared array kernels;
+# the alias keeps this module's internal name stable.
+_DrawBuffer = ChunkedDrawBuffer
 
 
 def calibrate_alpha(

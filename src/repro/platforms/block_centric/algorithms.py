@@ -17,10 +17,14 @@ import numpy as np
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
 from repro.platforms.block_centric.engine import BlockCentricEngine
-from repro.platforms.common import (
-    expand_segments,
+from repro.platforms.kernels import (
+    aggregate_pull_pairs,
+    clique_expansion_census,
+    closed_wedge_corners,
     forward_adjacency,
     forward_edge_arrays,
+    simple_degrees,
+    unique_pull_pairs,
 )
 
 __all__ = [
@@ -29,10 +33,12 @@ __all__ = [
     "sssp_blocks",
     "wcc_blocks",
     "bc_blocks",
+    "bc_blocks_bulk",
     "cd_blocks",
     "tc_blocks",
     "tc_blocks_bulk",
     "kc_blocks",
+    "kc_blocks_bulk",
     "bfs_blocks",
     "lcc_blocks",
 ]
@@ -70,7 +76,9 @@ def lcc_blocks(engine: BlockCentricEngine) -> np.ndarray:
                 triangles[u] += common.size
                 triangles[common] += 1
     engine.end_round()
-    degrees = graph.out_degrees().astype(np.float64)
+    # Wedges are defined over the simple graph: self-loop slots do not
+    # contribute, and degree-0/1 vertices get coefficient 0.0.
+    degrees = simple_degrees(graph)
     wedges = degrees * (degrees - 1.0)
     with np.errstate(divide="ignore", invalid="ignore"):
         return np.where(wedges > 0, 2.0 * triangles / wedges, 0.0)
@@ -328,6 +336,75 @@ def bc_blocks(engine: BlockCentricEngine, *, source: int = 0) -> np.ndarray:
     return delta
 
 
+def bc_blocks_bulk(engine: BlockCentricEngine, *, source: int = 0) -> np.ndarray:
+    """Array-native twin of :func:`bc_blocks`, metering bit-identically.
+
+    Phase 1 (depths) is the shared :func:`sssp_blocks` pass in both
+    paths — its rounds are reused verbatim.  Phases 2 and 3 keep the
+    exact ``np.add.at`` sigma/delta arithmetic of the scalar pass (so
+    float accumulation order is unchanged) and vectorize only the
+    metering: the per-block op charges collapse into one ``np.bincount``
+    (still charging ``max(1, count)`` to all blocks, like the scalar
+    loop), and the per-DAG-edge 16-byte sends collapse into one counted
+    ``send`` per (src block, dst block) pair.  Counts and bytes are
+    integers, so the per-round totals are exact.
+    """
+    graph = engine.graph
+    n = graph.num_vertices
+    block_of = engine.block_of
+    parts = engine.parts
+
+    depth_f = sssp_blocks(engine, source=source)
+    depth = np.where(np.isinf(depth_f), -1, depth_f).astype(np.int64)
+    max_depth = int(depth.max()) if n else -1
+
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    dst = graph.indices
+    dag = depth[src] + 1 == depth[dst]
+    dag &= (depth[src] >= 0)
+    dag_src, dag_dst = src[dag], dst[dag]
+    dag_level = depth[dag_dst]
+
+    def _send_pairs(from_blocks: np.ndarray, to_blocks: np.ndarray) -> None:
+        pair = from_blocks.astype(np.int64) * parts + to_blocks
+        pair_ids, pair_counts = np.unique(pair, return_counts=True)
+        for p, c in zip(pair_ids.tolist(), pair_counts.tolist()):
+            engine.send(p // parts, p % parts, 16.0, count=int(c))
+
+    # Phase 2: sigma, one round per level.
+    sigma = np.zeros(n, dtype=np.float64)
+    sigma[source] = 1.0
+    for level in range(1, max_depth + 1):
+        engine.begin_round()
+        sel = dag_level == level
+        s, d = dag_src[sel], dag_dst[sel]
+        contrib = sigma[s]
+        np.add.at(sigma, d, contrib)
+        counts = np.bincount(block_of[d], minlength=parts)
+        for b in range(parts):
+            engine.charge(b, max(1.0, float(counts[b])))
+        cross = block_of[s] != block_of[d]
+        _send_pairs(block_of[s[cross]], block_of[d[cross]])
+        engine.end_round()
+
+    # Phase 3: delta, deepest level first.
+    delta = np.zeros(n, dtype=np.float64)
+    for level in range(max_depth, 0, -1):
+        engine.begin_round()
+        sel = dag_level == level
+        s, d = dag_src[sel], dag_dst[sel]
+        contrib = sigma[s] / sigma[d] * (1.0 + delta[d])
+        np.add.at(delta, s, contrib)
+        counts = np.bincount(block_of[s], minlength=parts)
+        for b in range(parts):
+            engine.charge(b, max(1.0, float(counts[b])))
+        cross = block_of[s] != block_of[d]
+        _send_pairs(block_of[d[cross]], block_of[s[cross]])
+        engine.end_round()
+    delta[source] = 0.0
+    return delta
+
+
 def cd_blocks(engine: BlockCentricEngine) -> np.ndarray:
     """Coreness: blocks peel cascades locally (sequential, no supersteps
     inside a block); only cross-block decrements cost a round."""
@@ -439,29 +516,30 @@ def tc_blocks_bulk(engine: BlockCentricEngine) -> int:
 
         # One pull per unique (rooting block, remote vertex) pair,
         # aggregated into a single metering call per block pair.
-        cross = block_of[fdst] != block_of[fsrc]
-        pull_key = block_of[fsrc[cross]].astype(np.int64) * n + fdst[cross]
-        uniq = np.unique(pull_key)
-        root_block = uniq // n
-        remote = uniq % n
-        pair = block_of[remote] * engine.parts + root_block
-        pair_ids, pair_pos = np.unique(pair, return_inverse=True)
-        counts = np.bincount(pair_pos)
-        nbytes = np.bincount(pair_pos, weights=8.0 * fdeg[remote])
-        for p, cnt, byt in zip(pair_ids.tolist(), counts.tolist(),
-                               nbytes.tolist()):
-            engine.send_block(p // engine.parts, p % engine.parts,
-                              float(byt), int(cnt))
+        pull_root, pull_vertex, _ = unique_pull_pairs(
+            block_of[fsrc], fdst, block_of, n
+        )
+        _send_pull_blocks(engine, pull_root, pull_vertex, fdeg)
 
-        # edge_keys is sorted because (fsrc, fdst) is lexsorted.
-        slots, owner_pos, _ = expand_segments(findptr, fdst)
-        wedge_keys = fsrc[owner_pos] * n + fdst[slots]
-        edge_keys = fsrc * n + fdst
-        hit = np.searchsorted(edge_keys, wedge_keys)
-        hit = np.minimum(hit, edge_keys.size - 1)
-        total = int(np.count_nonzero(edge_keys[hit] == wedge_keys))
+        v, _, _ = closed_wedge_corners(findptr, fsrc, fdst, n)
+        total = int(v.size)
     engine.end_round()
     return total
+
+
+def _send_pull_blocks(
+    engine: BlockCentricEngine,
+    pull_root: np.ndarray,
+    pull_vertex: np.ndarray,
+    fdeg: np.ndarray,
+) -> None:
+    """Meter deduplicated adjacency pulls as per block-pair blocks."""
+    src, dst, counts, nbytes = aggregate_pull_pairs(
+        pull_root, pull_vertex, engine.block_of, fdeg, engine.parts
+    )
+    for s, d, c, b in zip(src.tolist(), dst.tolist(),
+                          counts.tolist(), nbytes.tolist()):
+        engine.send_block(int(s), int(d), float(b), int(c))
 
 
 def kc_blocks(engine: BlockCentricEngine, *, k: int = 4) -> int:
@@ -498,5 +576,32 @@ def kc_blocks(engine: BlockCentricEngine, *, k: int = 4) -> int:
                 narrowed = np.intersect1d(candidates, fu, assume_unique=True)
                 if narrowed.size >= k - size - 2:
                     stack.append((size + 1, narrowed))
+    engine.end_round()
+    return total
+
+
+def kc_blocks_bulk(engine: BlockCentricEngine, *, k: int = 4) -> int:
+    """Array-native twin of :func:`kc_blocks`, metering bit-identically.
+
+    The scalar pass explores each root's expansion tree depth-first; the
+    bulk pass runs the same tree level-synchronously via
+    :func:`~repro.platforms.kernels.clique_expansion_census`.  The set of
+    expanded (task, candidate) pairs — and hence the integer op charges
+    and the deduplicated (block, vertex) pull set — is identical, and the
+    single round cannot observe traversal order.
+    """
+    if k < 3:
+        raise GraphStructureError(f"k must be >= 3 for KC, got {k}")
+    graph = engine.graph
+    n = graph.num_vertices
+    findptr, fsrc, fdst = forward_edge_arrays(graph)
+    engine.begin_round()
+    total, ops, pull_root, pull_vertex, _ = clique_expansion_census(
+        findptr, fsrc, fdst, n, k, engine.block_of, engine.parts
+    )
+    for b in np.flatnonzero(ops).tolist():
+        engine.charge(b, float(ops[b]))
+    _send_pull_blocks(engine, pull_root, pull_vertex,
+                      np.diff(findptr).astype(np.int64))
     engine.end_round()
     return total

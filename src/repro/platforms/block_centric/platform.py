@@ -9,10 +9,12 @@ from repro.core.graph import Graph
 from repro.platforms.base import Platform
 from repro.platforms.block_centric.algorithms import (
     bc_blocks,
+    bc_blocks_bulk,
     bfs_blocks,
     lcc_blocks,
     cd_blocks,
     kc_blocks,
+    kc_blocks_bulk,
     lpa_blocks,
     pagerank_blocks,
     sssp_blocks,
@@ -50,11 +52,11 @@ class BlockCentricPlatform(Platform):
         params: dict,
         options: EngineOptions,
     ) -> Any:
-        # TC has scalar and bulk passes (metering-identical; the parity
-        # suite asserts it); every other algorithm has a single path and
-        # ignores the mode knob.
+        # TC, BC, and KC have scalar and bulk passes (metering-identical;
+        # the parity suite asserts it); every other algorithm has a
+        # single path and ignores the mode knob.
         attrs = {}
-        if algorithm == "tc":
+        if algorithm in ("tc", "bc", "kc"):
             attrs["path"] = (
                 "scalar" if options.mode is EngineMode.SCALAR else "bulk"
             )
@@ -86,7 +88,10 @@ class BlockCentricPlatform(Platform):
         if algorithm == "wcc":
             return wcc_blocks(engine)
         if algorithm == "bc":
-            return bc_blocks(engine, source=params.get("source", 0))
+            source = params.get("source", 0)
+            if mode is EngineMode.SCALAR:
+                return bc_blocks(engine, source=source)
+            return bc_blocks_bulk(engine, source=source)
         if algorithm == "cd":
             return cd_blocks(engine)
         if algorithm == "tc":
@@ -94,7 +99,10 @@ class BlockCentricPlatform(Platform):
                 return tc_blocks(engine)
             return tc_blocks_bulk(engine)
         if algorithm == "kc":
-            return kc_blocks(engine, k=params.get("k", 4))
+            k = params.get("k", 4)
+            if mode is EngineMode.SCALAR:
+                return kc_blocks(engine, k=k)
+            return kc_blocks_bulk(engine, k=k)
         if algorithm == "bfs":
             return bfs_blocks(engine, source=params.get("source", 0))
         if algorithm == "lcc":

@@ -1,14 +1,18 @@
 """Shared helpers for platform algorithm implementations.
 
-Besides the vectorization primitives, this module owns the **engine
-options** vocabulary: every platform's ``run()`` accepts the same
-keyword knobs (``engine_mode``, ``fault_schedule``,
-``checkpoint_interval``), and :func:`parse_engine_options` is the single
-place they are popped, validated, and normalized into an
-:class:`EngineOptions`.  The vertex- and edge-centric platforms used to
-each pop ``engine_mode`` themselves with silently-diverging defaults;
-now an unknown mode raises one clear
+This module owns the **engine options** vocabulary: every platform's
+``run()`` accepts the same keyword knobs (``engine_mode``,
+``fault_schedule``, ``checkpoint_interval``), and
+:func:`parse_engine_options` is the single place they are popped,
+validated, and normalized into an :class:`EngineOptions`.  The vertex-
+and edge-centric platforms used to each pop ``engine_mode`` themselves
+with silently-diverging defaults; now an unknown mode raises one clear
 :class:`~repro.errors.PlatformError` everywhere.
+
+The flat-CSR vectorization primitives (``expand_segments``,
+``forward_edge_arrays``, …) live in :mod:`repro.platforms.kernels`;
+they are re-exported here for backwards compatibility, but new code
+should import from the kernels module directly.
 """
 
 from __future__ import annotations
@@ -16,11 +20,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.graph import Graph
 from repro.errors import PlatformError
 from repro.faults.schedule import EMPTY_SCHEDULE, FaultSchedule
+from repro.platforms.kernels import (  # noqa: F401  (re-exports)
+    expand_segments,
+    forward_adjacency,
+    forward_edge_arrays,
+    vertex_order_positions,
+)
 
 __all__ = [
     "EngineMode",
@@ -109,46 +117,6 @@ def parse_engine_options(params: dict) -> EngineOptions:
     )
 
 
-def expand_segments(
-    indptr: np.ndarray, ids: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Expand the CSR segments of ``ids`` into flat slot arrays.
-
-    Returns ``(slots, owner_pos, counts)``: the flat CSR slot index of
-    every element in every selected segment (segments concatenated in
-    ``ids`` order), the position *within ``ids``* owning each slot, and
-    the per-id segment lengths.  This is the shared frontier-expansion
-    primitive of the vectorized engine paths — one `np.repeat`-based
-    gather instead of a per-vertex slicing loop.
-    """
-    counts = indptr[ids + 1] - indptr[ids]
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy(), counts
-    starts = np.repeat(indptr[ids], counts)
-    ends = np.cumsum(counts)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
-    slots = starts + offsets
-    owner_pos = np.repeat(np.arange(ids.shape[0], dtype=np.int64), counts)
-    return slots, owner_pos, counts
-
-
-def vertex_order_positions(graph: Graph) -> np.ndarray:
-    """Position of each vertex in the (degree, id) total order.
-
-    Orienting edges from lower to higher position makes the orientation
-    acyclic with forward degrees bounded by O(sqrt(m)), the standard
-    trick behind O(m^1.5) triangle counting.
-    """
-    n = graph.num_vertices
-    degrees = graph.out_degrees()
-    rank = np.lexsort((np.arange(n), degrees))
-    position = np.empty(n, dtype=np.int64)
-    position[rank] = np.arange(n)
-    return position
-
-
 def adjacency_shipping_bytes(
     graph: Graph, *, envelope_bytes: float
 ) -> tuple[float, float]:
@@ -168,39 +136,3 @@ def adjacency_shipping_bytes(
         payload += 8.0 * fdeg * fdeg
         messages += fdeg
     return payload, envelope_bytes * messages
-
-
-def forward_adjacency(graph: Graph) -> list[np.ndarray]:
-    """Sorted higher-position neighbour arrays, one per vertex."""
-    und = graph.to_undirected()
-    position = vertex_order_positions(und)
-    forward = []
-    for v in range(und.num_vertices):
-        neigh = und.neighbors(v)
-        forward.append(np.sort(neigh[position[neigh] > position[v]]))
-    return forward
-
-
-def forward_edge_arrays(graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flat CSR view of the forward orientation: ``(indptr, src, dst)``.
-
-    The array-native twin of :func:`forward_adjacency`: the same edge
-    set (each undirected edge once, oriented toward the higher
-    (degree, id) position) as flat ``src``/``dst`` arrays sorted
-    lexicographically, plus the CSR ``indptr`` over ``src`` segments.
-    ``dst`` within each segment is ascending, matching the per-vertex
-    ``np.sort`` of the list-of-arrays form, so bulk paths built on this
-    view meter identically to scalar loops over ``forward_adjacency``.
-    """
-    und = graph.to_undirected()
-    n = und.num_vertices
-    position = vertex_order_positions(und)
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(und.indptr))
-    dst = und.indices
-    keep = position[dst] > position[src]
-    fsrc, fdst = src[keep], dst[keep]
-    order = np.lexsort((fdst, fsrc))
-    fsrc, fdst = fsrc[order], fdst[order]
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(np.bincount(fsrc, minlength=n), out=indptr[1:])
-    return indptr, fsrc, fdst

@@ -59,7 +59,7 @@ from repro.cluster.cost import TraceRecorder
 from repro.core.graph import Graph
 from repro.errors import ConvergenceError, PlatformError
 from repro.obs import get_tracer
-from repro.platforms.common import expand_segments
+from repro.platforms.kernels import expand_segments, lexsorted_csr
 from repro.platforms.profile import PlatformProfile
 
 __all__ = [
@@ -306,15 +306,11 @@ class EdgePlacement:
                 None if weight is None
                 else np.concatenate([weight, weight[mirror]])
             )
-        order = np.lexsort((all_dst, all_src))
-        self.adj = all_dst[order]
-        self.adj_part = (
-            self.edge_part[all_eid[order]] if m else _EMPTY
+        self.indptr, _, self.adj, eid_sorted, self.adj_weight = lexsorted_csr(
+            all_src, all_dst, n, all_eid, all_w
         )
-        self.adj_weight = None if all_w is None else all_w[order]
-        counts = np.bincount(all_src, minlength=n)
-        self.indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=self.indptr[1:])
+        self.adj_part = self.edge_part[eid_sorted] if m else _EMPTY
+        counts = np.diff(self.indptr)
 
         # Replica CSR: the sorted unique (vertex, part) pairs.
         if m:

@@ -15,7 +15,8 @@ import numpy as np
 from repro.cluster.cost import NUM_PARTS, TraceRecorder
 from repro.core.graph import Graph
 from repro.platforms.base import Platform
-from repro.platforms.common import EngineOptions, forward_adjacency
+from repro.platforms.common import EngineOptions
+from repro.platforms.kernels import forward_adjacency, simple_degrees
 from repro.platforms.edge_centric.engine import EdgeCentricEngine, EdgePlacement
 from repro.platforms.edge_centric.programs import (
     BCBackwardGAS,
@@ -29,6 +30,12 @@ from repro.platforms.edge_centric.programs import (
 from repro.platforms.profile import PlatformProfile
 
 __all__ = ["EdgeCentricPlatform"]
+
+
+def _simple_sorted_neighbors(graph: Graph, v: int) -> np.ndarray:
+    """Sorted neighbours of ``v`` with any self-loop slot removed."""
+    neigh = graph.neighbors(v)
+    return np.sort(neigh[neigh != v])
 
 
 class EdgeCentricPlatform(Platform):
@@ -147,13 +154,20 @@ class EdgeCentricPlatform(Platform):
         "only one edge and its two endpoints are needed" (Section 3.3).
         """
         und = graph.to_undirected()
-        adjacency = [np.sort(und.neighbors(v)) for v in range(und.num_vertices)]
+        # Self-loops are stripped from the shipped lists: u in its own
+        # list would land in every intersection at u, minting phantom
+        # triangles (u, u, w).
+        adjacency = [
+            _simple_sorted_neighbors(und, v) for v in range(und.num_vertices)
+        ]
         src, dst, _ = und.edge_arrays()
         rng = np.random.default_rng(29)
         edge_parts = rng.integers(0, NUM_PARTS, size=src.shape[0])
         total = 0
         recorder.begin_superstep()
         for u, v, p in zip(src.tolist(), dst.tolist(), edge_parts.tolist()):
+            if u == v:
+                continue  # a loop edge closes no triangle
             au, av = adjacency[u], adjacency[v]
             mu, mv = int(placement.master[u]), int(placement.master[v])
             if mu != p:
@@ -176,13 +190,15 @@ class EdgeCentricPlatform(Platform):
         """
         und = graph.to_undirected()
         n = und.num_vertices
-        adjacency = [np.sort(und.neighbors(v)) for v in range(n)]
+        adjacency = [_simple_sorted_neighbors(und, v) for v in range(n)]
         src, dst, _ = und.edge_arrays()
         rng = np.random.default_rng(31)
         edge_parts = rng.integers(0, NUM_PARTS, size=src.shape[0])
         credits = np.zeros(n, dtype=np.int64)
         recorder.begin_superstep()
         for u, v, p in zip(src.tolist(), dst.tolist(), edge_parts.tolist()):
+            if u == v:
+                continue  # a loop edge closes no triangle
             au, av = adjacency[u], adjacency[v]
             mu, mv = int(placement.master[u]), int(placement.master[v])
             if mu != p:
@@ -199,7 +215,9 @@ class EdgeCentricPlatform(Platform):
                 for w in common.tolist():
                     recorder.add_message(p, int(placement.master[w]), 8.0)
         recorder.end_superstep()
-        degrees = und.out_degrees().astype(np.float64)
+        # Simple-graph wedge counts: self-loop slots contribute none,
+        # and degree-0/1 vertices get coefficient 0.0.
+        degrees = simple_degrees(und)
         wedges = degrees * (degrees - 1.0)
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(wedges > 0, 2.0 * (credits / 3.0) / wedges, 0.0)

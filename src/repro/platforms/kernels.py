@@ -1,0 +1,382 @@
+"""Shared array kernels for the four engine families.
+
+Every vectorized ("bulk") execution path — vertex-, edge-, block-, and
+subgraph-centric — is built from the same handful of flat-CSR
+primitives: segment expansion (`np.repeat` gathers instead of
+per-vertex slicing), lexsorted CSR construction, the forward edge
+orientation behind the O(m^1.5) subgraph algorithms, sorted-key edge
+membership, and chunked random draws.  This module is their single
+home; the per-engine packages import from here and add only metering.
+
+Design invariants the bulk paths rely on:
+
+* every helper is deterministic and allocation-order free — outputs
+  depend only on inputs, never on dict/set iteration order;
+* integer-valued outputs stay integer-valued (int64 everywhere), so
+  metering sums built on them are exact in float64 regardless of
+  aggregation order — the foundation of the scalar/bulk WorkTrace
+  parity guarantee;
+* within-segment element order is preserved ascending, matching the
+  per-vertex ``np.sort`` of the scalar list-of-arrays form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import Graph
+
+__all__ = [
+    "expand_segments",
+    "lexsorted_csr",
+    "vertex_order_positions",
+    "forward_adjacency",
+    "forward_edge_arrays",
+    "self_loop_counts",
+    "simple_degrees",
+    "closed_wedge_corners",
+    "unique_pull_pairs",
+    "aggregate_pull_pairs",
+    "clique_expansion_census",
+    "ChunkedDrawBuffer",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def expand_segments(
+    indptr: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand the CSR segments of ``ids`` into flat slot arrays.
+
+    Returns ``(slots, owner_pos, counts)``: the flat CSR slot index of
+    every element in every selected segment (segments concatenated in
+    ``ids`` order), the position *within ``ids``* owning each slot, and
+    the per-id segment lengths.  This is the shared frontier-expansion
+    primitive of the vectorized engine paths — one `np.repeat`-based
+    gather instead of a per-vertex slicing loop.
+
+    All three outputs are int64 in every branch — empty ``ids``,
+    all-empty segments, and mixed inputs included — regardless of the
+    ``indptr``/``ids`` input dtypes, so downstream index arithmetic
+    never changes dtype between the empty and non-empty cases.
+    """
+    ids = np.asarray(ids, dtype=np.int64)
+    counts = np.asarray(
+        indptr[ids + 1] - indptr[ids], dtype=np.int64
+    )
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY.copy(), _EMPTY.copy(), counts
+    starts = np.repeat(np.asarray(indptr, dtype=np.int64)[ids], counts)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+    slots = starts + offsets
+    owner_pos = np.repeat(np.arange(ids.shape[0], dtype=np.int64), counts)
+    return slots, owner_pos, counts
+
+
+def lexsorted_csr(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: int,
+    *aligned: np.ndarray | None,
+) -> tuple:
+    """Sort edge records by ``(src, dst)`` and pack them into a CSR.
+
+    Returns ``(indptr, src_sorted, dst_sorted, *aligned_sorted)`` where
+    each element of ``aligned`` (or ``None``, passed through) is
+    reordered with the same lexsort permutation.  This is the one CSR
+    construction shared by the forward-edge view and the edge-centric
+    gather-adjacency replay — per-source segments contiguous, neighbour
+    ids ascending within each segment.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    order = np.lexsort((dst, src))
+    src_sorted, dst_sorted = src[order], dst[order]
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(src_sorted, minlength=num_vertices), out=indptr[1:]
+    )
+    extras = tuple(None if a is None else a[order] for a in aligned)
+    return (indptr, src_sorted, dst_sorted, *extras)
+
+
+def vertex_order_positions(graph: Graph) -> np.ndarray:
+    """Position of each vertex in the (degree, id) total order.
+
+    Orienting edges from lower to higher position makes the orientation
+    acyclic with forward degrees bounded by O(sqrt(m)), the standard
+    trick behind O(m^1.5) triangle counting.
+    """
+    n = graph.num_vertices
+    degrees = graph.out_degrees()
+    rank = np.lexsort((np.arange(n), degrees))
+    position = np.empty(n, dtype=np.int64)
+    position[rank] = np.arange(n)
+    return position
+
+
+def forward_adjacency(graph: Graph) -> list[np.ndarray]:
+    """Sorted higher-position neighbour arrays, one per vertex.
+
+    Self-loops never appear (a vertex's position is not greater than
+    itself), so triangle/clique passes built on this view are immune to
+    them by construction.
+    """
+    und = graph.to_undirected()
+    position = vertex_order_positions(und)
+    forward = []
+    for v in range(und.num_vertices):
+        neigh = und.neighbors(v)
+        forward.append(np.sort(neigh[position[neigh] > position[v]]))
+    return forward
+
+
+def forward_edge_arrays(graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flat CSR view of the forward orientation: ``(indptr, src, dst)``.
+
+    The array-native twin of :func:`forward_adjacency`: the same edge
+    set (each undirected edge once, oriented toward the higher
+    (degree, id) position) as flat ``src``/``dst`` arrays sorted
+    lexicographically, plus the CSR ``indptr`` over ``src`` segments.
+    ``dst`` within each segment is ascending, matching the per-vertex
+    ``np.sort`` of the list-of-arrays form, so bulk paths built on this
+    view meter identically to scalar loops over ``forward_adjacency``.
+    """
+    und = graph.to_undirected()
+    n = und.num_vertices
+    position = vertex_order_positions(und)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(und.indptr))
+    dst = und.indices
+    keep = position[dst] > position[src]
+    indptr, fsrc, fdst = lexsorted_csr(src[keep], dst[keep], n)
+    return indptr, fsrc, fdst
+
+
+def self_loop_counts(graph: Graph) -> np.ndarray:
+    """(n,) int64 — adjacency slots of each vertex pointing at itself."""
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    loops = src == graph.indices
+    return np.bincount(src[loops], minlength=n).astype(np.int64)
+
+
+def simple_degrees(graph: Graph) -> np.ndarray:
+    """(n,) float64 simple-graph degrees: out-degrees minus self-loops.
+
+    The wedge denominator ``d * (d - 1)`` of the clustering coefficient
+    is defined over the *simple* graph; a self-loop contributes no
+    wedge, so counting its slot would deflate every looped vertex's
+    coefficient.
+    """
+    return (graph.out_degrees() - self_loop_counts(graph)).astype(np.float64)
+
+
+def closed_wedge_corners(
+    findptr: np.ndarray,
+    fsrc: np.ndarray,
+    fdst: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Corners ``(v, u, w)`` of every closed forward wedge.
+
+    A wedge roots at ``v``, walks the forward edge ``(v, u)``, then a
+    forward edge ``(u, w)``; it is closed — a triangle — when ``(v, w)``
+    is itself a forward edge, tested by binary search over the sorted
+    flat edge keys ``src * n + dst``.  One triangle yields exactly one
+    closed wedge, so TC totals are ``v.size`` and LCC corner credits
+    are three bincounts.
+    """
+    if fsrc.size == 0:
+        return _EMPTY.copy(), _EMPTY.copy(), _EMPTY.copy()
+    slots, owner_pos, _ = expand_segments(findptr, fdst)
+    v = fsrc[owner_pos]
+    u = fdst[owner_pos]
+    w = fdst[slots]
+    wedge_keys = v * num_vertices + w
+    edge_keys = fsrc * num_vertices + fdst  # sorted: (fsrc, fdst) lexsorted
+    hit = np.searchsorted(edge_keys, wedge_keys)
+    hit = np.minimum(hit, edge_keys.size - 1)
+    closed = edge_keys[hit] == wedge_keys
+    return v[closed], u[closed], w[closed]
+
+
+def unique_pull_pairs(
+    root_parts: np.ndarray,
+    targets: np.ndarray,
+    owner: np.ndarray,
+    num_vertices: int,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Dedupe remote adjacency pulls per (rooting part, vertex) pair.
+
+    ``root_parts[i]`` requests the forward list of ``targets[i]``; a
+    request is remote when the target's owner differs.  Returns the
+    unique remote pairs as ``(pull_root, pull_vertex)`` plus the total
+    remote request count — the scalar engines' per-round pull caches
+    meter exactly one message per unique pair, and the difference is
+    their cache-hit tally.
+    """
+    root_parts = np.asarray(root_parts, dtype=np.int64)
+    remote = owner[targets] != root_parts
+    calls = int(np.count_nonzero(remote))
+    if calls == 0:
+        return _EMPTY.copy(), _EMPTY.copy(), 0
+    keys = np.unique(root_parts[remote] * num_vertices + targets[remote])
+    return keys // num_vertices, keys % num_vertices, calls
+
+
+def aggregate_pull_pairs(
+    pull_root: np.ndarray,
+    pull_vertex: np.ndarray,
+    owner: np.ndarray,
+    fdeg: np.ndarray,
+    parts: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Group unique pulls into per part-pair message blocks.
+
+    Returns aligned ``(src_part, dst_part, count, total_bytes)`` arrays
+    — one row per (owner part -> rooting part) pair, bytes at 8 per
+    shipped adjacency slot — ready for one ``send_block`` /
+    ``add_message_block`` call each.
+    """
+    if pull_root.size == 0:
+        e = _EMPTY.copy()
+        return e, e.copy(), e.copy(), np.empty(0)
+    pair = np.asarray(owner, dtype=np.int64)[pull_vertex] * parts + pull_root
+    pair_ids, pair_pos = np.unique(pair, return_inverse=True)
+    counts = np.bincount(pair_pos).astype(np.int64)
+    nbytes = np.bincount(pair_pos, weights=8.0 * fdeg[pull_vertex])
+    return pair_ids // parts, pair_ids % parts, counts, nbytes
+
+
+def clique_expansion_census(
+    findptr: np.ndarray,
+    fsrc: np.ndarray,
+    fdst: np.ndarray,
+    num_vertices: int,
+    k: int,
+    owner: np.ndarray,
+    parts: int,
+) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Level-synchronous k-clique expansion over the forward CSR.
+
+    The array-native twin of the scalar per-root DFS the block- and
+    subgraph-centric engines run: every vertex spawns a level-1 task
+    whose candidate set is its forward list; expanding candidate ``u``
+    of a task with candidates ``C`` costs ``|C| + fdeg(u)`` ops at the
+    task's rooting part and narrows ``C`` to ``C ∩ forward(u)``
+    (sorted-key membership over the flat edge list); tasks survive when
+    the narrowed set can still complete a clique, and level ``k - 1``
+    counts its candidates.  The expansion *set* is identical to the
+    DFS's, so per-part totals match exactly — only traversal order
+    differs, which the per-round trace cannot see.
+
+    Returns ``(total, ops, pull_root, pull_vertex, remote_calls)``:
+    the clique count, per-part float64 ops (root spawn charges of
+    ``max(1, fdeg)`` included), the unique remote pull pairs (see
+    :func:`unique_pull_pairs`), and the total remote request count.
+    """
+    n = num_vertices
+    owner = np.asarray(owner, dtype=np.int64)
+    ops = np.zeros(parts)
+    if n == 0:
+        return 0, ops, _EMPTY.copy(), _EMPTY.copy(), 0
+    fdeg = np.diff(findptr).astype(np.int64)
+    ops += np.bincount(
+        owner, weights=np.maximum(fdeg, 1).astype(np.float64), minlength=parts
+    )
+    edge_keys = fsrc * n + fdst
+
+    # Level-1 tasks: one per vertex, candidates = its forward segment.
+    cand = fdst
+    node_indptr = findptr
+    root = owner
+    pull_chunks: list[np.ndarray] = []
+    remote_calls = 0
+    size = 1
+    while size < k - 1 and cand.size:
+        counts = np.diff(node_indptr)
+        parent = np.repeat(
+            np.arange(node_indptr.shape[0] - 1, dtype=np.int64), counts
+        )
+        u = cand
+        rb = root[parent]
+        ops += np.bincount(
+            rb, weights=(counts[parent] + fdeg[u]).astype(np.float64),
+            minlength=parts,
+        )
+        remote = owner[u] != rb
+        remote_calls += int(np.count_nonzero(remote))
+        if remote.any():
+            pull_chunks.append(rb[remote] * n + u[remote])
+
+        # Narrow each child against its parent's candidate segment.
+        slots, child_pos, _ = expand_segments(node_indptr, parent)
+        w = cand[slots]
+        keys = u[child_pos] * n + w
+        hit = np.searchsorted(edge_keys, keys)
+        hit = np.minimum(hit, edge_keys.size - 1)
+        member = edge_keys[hit] == keys
+        child_counts = np.bincount(
+            child_pos[member], minlength=u.shape[0]
+        ).astype(np.int64)
+        keep = child_counts >= k - size - 2
+        cand = w[member & keep[child_pos]]
+        new_counts = child_counts[keep]
+        node_indptr = np.zeros(new_counts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(new_counts, out=node_indptr[1:])
+        root = rb[keep]
+        size += 1
+
+    total = int(cand.size) if size == k - 1 else 0
+    if pull_chunks:
+        uniq = np.unique(np.concatenate(pull_chunks))
+        pull_root, pull_vertex = uniq // n, uniq % n
+    else:
+        pull_root, pull_vertex = _EMPTY.copy(), _EMPTY.copy()
+    return total, ops, pull_root, pull_vertex, remote_calls
+
+
+class ChunkedDrawBuffer:
+    """Batched uniform(0, 1] draws (one numpy call per 64k draws).
+
+    Scalar consumers call :meth:`next`; vectorized consumers call
+    :meth:`take`, which reads the *same* stream with refills at the
+    same 64k boundaries, so scalar and bulk sampling paths stay
+    draw-for-draw identical.
+    """
+
+    def __init__(self, rng: np.random.Generator, size: int = 65536) -> None:
+        self._rng = rng
+        self._size = size
+        self._buffer = rng.random(size)
+        self._cursor = 0
+
+    def next(self) -> float:
+        """One draw; refills the buffer at the chunk boundary."""
+        if self._cursor >= self._size:
+            self._buffer = self._rng.random(self._size)
+            self._cursor = 0
+        value = self._buffer[self._cursor]
+        self._cursor += 1
+        # Map [0, 1) to (0, 1]: f = 1 - value keeps 0 excluded.
+        return 1.0 - value
+
+    def take(self, count: int) -> np.ndarray:
+        """``count`` draws at once, consuming the same stream ``next``
+        reads (refills happen at the same 64k boundaries)."""
+        out = np.empty(count, dtype=np.float64)
+        filled = 0
+        while filled < count:
+            if self._cursor >= self._size:
+                self._buffer = self._rng.random(self._size)
+                self._cursor = 0
+            avail = min(self._size - self._cursor, count - filled)
+            out[filled:filled + avail] = self._buffer[
+                self._cursor:self._cursor + avail
+            ]
+            self._cursor += avail
+            filled += avail
+        return 1.0 - out

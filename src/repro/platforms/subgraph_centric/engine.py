@@ -8,11 +8,22 @@ can exceed the graph, which is why this model exists (Section 3.3) — and
 why it cannot express iterative/sequential algorithms: there is no
 cross-task iteration-control flow (the paper's 6 unsupported cases on
 G-thinker).
+
+Each algorithm has two execution paths metering bit-identically:
+
+* the **scalar** path loops over per-vertex tasks, pulling and
+  intersecting one adjacency list at a time;
+* the **bulk** path runs the same task wave as array kernels over the
+  flat forward-edge CSR (:mod:`repro.platforms.kernels`), bincounting
+  the per-worker op charges and aggregating the wave's unique remote
+  pulls into one message block per worker pair.
+
+Every charged quantity is integer-valued, so float64 aggregation order
+cannot change the per-phase totals — the parity suite diffs whole
+WorkTraces between the paths.
 """
 
 from __future__ import annotations
-
-from typing import Callable
 
 import numpy as np
 
@@ -21,7 +32,15 @@ from repro.core.graph import Graph
 from repro.core.partition import hash_partition
 from repro.errors import GraphStructureError
 from repro.obs import CACHE_HITS, CACHE_MISSES, get_tracer
-from repro.platforms.common import forward_adjacency
+from repro.platforms.kernels import (
+    aggregate_pull_pairs,
+    clique_expansion_census,
+    closed_wedge_corners,
+    forward_adjacency,
+    forward_edge_arrays,
+    simple_degrees,
+    unique_pull_pairs,
+)
 
 __all__ = ["SubgraphCentricEngine"]
 
@@ -49,7 +68,14 @@ class SubgraphCentricEngine:
 
     def begin_phase(self) -> None:
         """Open one scheduling wave of tasks (also an observability
-        span, closed by :meth:`end_phase`)."""
+        span, closed by :meth:`end_phase`).
+
+        The pull cache is scoped to the wave: G-thinker evicts between
+        scheduling waves, and the block-centric engines likewise dedupe
+        pulls per round, so a vertex pulled in two phases is metered in
+        both — the invariant the bulk pull aggregation relies on.
+        """
+        self._cache.clear()
         self._phase_span = self._tracer.span(
             "task-wave", category="superstep", index=self._phase_index
         ).__enter__()
@@ -90,7 +116,43 @@ class SubgraphCentricEngine:
                 self._tracer.add(CACHE_HITS, 1.0)
         return self.forward[u]
 
+    def _meter_pulls_bulk(
+        self,
+        pull_root: np.ndarray,
+        pull_vertex: np.ndarray,
+        remote_calls: int,
+        fdeg: np.ndarray,
+    ) -> None:
+        """Bulk twin of per-call :meth:`pull_adjacency` metering.
+
+        ``(pull_root, pull_vertex)`` are the wave's unique remote pull
+        pairs; each becomes one shipped adjacency, aggregated into one
+        message block per (owner worker -> pulling worker) pair.  The
+        observability counters replicate the scalar cache: one miss per
+        unique pair, one hit per deduplicated repeat request.
+        """
+        if remote_calls == 0:
+            return
+        src, dst, counts, nbytes = aggregate_pull_pairs(
+            pull_root, pull_vertex, self.owner, fdeg, self.parts
+        )
+        for s, d, c, b in zip(
+            src.tolist(), dst.tolist(), counts.tolist(), nbytes.tolist()
+        ):
+            self.recorder.add_message_block(int(s), int(d), float(b), int(c))
+        if self._tracer.enabled:
+            self._tracer.add(CACHE_MISSES, float(pull_root.shape[0]))
+            hits = remote_calls - int(pull_root.shape[0])
+            if hits:
+                self._tracer.add(CACHE_HITS, float(hits))
+
+    def _charge_bulk(self, ops: np.ndarray) -> None:
+        """Fold per-worker op totals into the open wave."""
+        for p in np.flatnonzero(ops).tolist():
+            self.charge(int(p), float(ops[p]))
+
     # ------------------------------------------------------------------
+    # Scalar task loops
 
     def count_triangles(self) -> int:
         """TC as per-vertex tasks intersecting forward adjacency."""
@@ -124,8 +186,16 @@ class SubgraphCentricEngine:
                     triangles[u] += common.size
                     triangles[common] += 1
         self.end_phase()
-        und = self.graph.to_undirected()
-        degrees = und.out_degrees().astype(np.float64)
+        return self._clustering_from_triangles(triangles)
+
+    def _clustering_from_triangles(self, triangles: np.ndarray) -> np.ndarray:
+        """Normalize triangle counts by simple-graph wedge counts.
+
+        Degree-0/1 vertices have no wedges and get coefficient 0.0, and
+        self-loop slots are excluded from the degree so a looped vertex
+        is not under-credited.
+        """
+        degrees = simple_degrees(self.graph.to_undirected())
         wedges = degrees * (degrees - 1.0)
         with np.errstate(divide="ignore", invalid="ignore"):
             return np.where(wedges > 0, 2.0 * triangles / wedges, 0.0)
@@ -151,5 +221,84 @@ class SubgraphCentricEngine:
                     narrowed = np.intersect1d(candidates, fu, assume_unique=True)
                     if narrowed.size >= k - size - 2:
                         stack.append((size + 1, narrowed))
+        self.end_phase()
+        return total
+
+    # ------------------------------------------------------------------
+    # Bulk task waves (array kernels over the flat forward CSR)
+
+    def count_triangles_bulk(self) -> int:
+        """Vectorized twin of :meth:`count_triangles`.
+
+        One wave: per-edge op charges bincounted by rooting worker,
+        remote pulls deduplicated per (worker, vertex) pair, triangles
+        counted as closed forward wedges.
+        """
+        n = self.graph.num_vertices
+        findptr, fsrc, fdst = forward_edge_arrays(self.graph)
+        fdeg = np.diff(findptr).astype(np.int64)
+        total = 0
+        self.begin_phase()
+        if fsrc.size:
+            workers = self.owner[fsrc]
+            ops = np.bincount(
+                workers,
+                weights=(fdeg[fsrc] + fdeg[fdst]).astype(np.float64),
+                minlength=self.parts,
+            )
+            self._charge_bulk(ops)
+            pull_root, pull_vertex, calls = unique_pull_pairs(
+                workers, fdst, self.owner, n
+            )
+            self._meter_pulls_bulk(pull_root, pull_vertex, calls, fdeg)
+            v, _, _ = closed_wedge_corners(findptr, fsrc, fdst, n)
+            total = int(v.size)
+        self.end_phase()
+        return total
+
+    def local_clustering_bulk(self) -> np.ndarray:
+        """Vectorized twin of :meth:`local_clustering`: the TC wave
+        plus corner crediting via three bincounts."""
+        n = self.graph.num_vertices
+        findptr, fsrc, fdst = forward_edge_arrays(self.graph)
+        fdeg = np.diff(findptr).astype(np.int64)
+        triangles = np.zeros(n, dtype=np.int64)
+        self.begin_phase()
+        if fsrc.size:
+            workers = self.owner[fsrc]
+            ops = np.bincount(
+                workers,
+                weights=(fdeg[fsrc] + fdeg[fdst]).astype(np.float64),
+                minlength=self.parts,
+            )
+            self._charge_bulk(ops)
+            pull_root, pull_vertex, calls = unique_pull_pairs(
+                workers, fdst, self.owner, n
+            )
+            self._meter_pulls_bulk(pull_root, pull_vertex, calls, fdeg)
+            v, u, w = closed_wedge_corners(findptr, fsrc, fdst, n)
+            triangles = (
+                np.bincount(v, minlength=n)
+                + np.bincount(u, minlength=n)
+                + np.bincount(w, minlength=n)
+            ).astype(np.int64)
+        self.end_phase()
+        return self._clustering_from_triangles(triangles)
+
+    def count_k_cliques_bulk(self, k: int) -> int:
+        """Vectorized twin of :meth:`count_k_cliques`: one
+        level-synchronous expansion census over the forward CSR."""
+        if k < 3:
+            raise GraphStructureError(f"k must be >= 3 for KC, got {k}")
+        n = self.graph.num_vertices
+        findptr, fsrc, fdst = forward_edge_arrays(self.graph)
+        self.begin_phase()
+        total, ops, pull_root, pull_vertex, calls = clique_expansion_census(
+            findptr, fsrc, fdst, n, k, self.owner, self.parts
+        )
+        self._charge_bulk(ops)
+        self._meter_pulls_bulk(
+            pull_root, pull_vertex, calls, np.diff(findptr).astype(np.int64)
+        )
         self.end_phase()
         return total

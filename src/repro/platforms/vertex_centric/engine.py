@@ -27,8 +27,8 @@ The engine has two interchangeable execution paths:
 
 * the **scalar path** calls ``compute(v, messages, ctx)`` once per
   active vertex with Python-level inbox lists — fully general, and the
-  fallback for programs with irregular message protocols (BC, TC, CD,
-  KC, pointer-jumping WCC);
+  fallback for programs with irregular message protocols (BC, TC, KC,
+  pointer-jumping WCC);
 * the **bulk-frontier path** (Ligra-style) calls
   ``compute_bulk(frontier, inbox, ctx)`` once per superstep with the
   whole frontier as an int64 array and the inbox pre-aggregated into
@@ -59,6 +59,7 @@ from repro.core.graph import Graph
 from repro.core.partition import Partition
 from repro.errors import ConvergenceError, PlatformError
 from repro.obs import get_tracer
+from repro.platforms.kernels import expand_segments
 from repro.platforms.profile import PlatformProfile
 
 __all__ = [
@@ -136,9 +137,18 @@ class BulkVertexProgram(VertexProgram):
         ``"min"``.  Required (and must match ``combine``'s semantics)
         when the program defines ``combine`` — the bulk path cannot fold
         an opaque Python callable over arrays.
+    bulk_master_hook:
+        Opt-in flag for programs with a ``before_superstep`` master
+        hook.  By default a hook forces the scalar path (hooks written
+        against :class:`VertexContext` may poke scalar internals);
+        setting this true declares the hook safe on both paths — it is
+        then invoked each superstep *before* the quiescence check, with
+        the same ``(superstep, ctx)`` signature, and any returned
+        vertices are merged into the frontier.
     """
 
     bulk_combine: str | None = None
+    bulk_master_hook: bool = False
 
     def compute_bulk(
         self,
@@ -352,19 +362,12 @@ class BulkVertexContext:
         source in ``sources`` order, neighbours in adjacency order,
         matching the scalar path's per-vertex send order.
         """
-        indptr, indices = self.graph.indptr, self.graph.indices
         sources = np.asarray(sources, dtype=np.int64)
-        counts = indptr[sources + 1] - indptr[sources]
-        total = int(counts.sum())
-        if total == 0:
+        slot, _, counts = expand_segments(self.graph.indptr, sources)
+        if slot.size == 0:
             e = np.empty(0, dtype=np.int64)
             return e, e.copy(), e.copy()
-        starts = np.repeat(indptr[sources], counts)
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        slot = starts + offsets
-        return np.repeat(sources, counts), indices[slot], slot
+        return np.repeat(sources, counts), self.graph.indices[slot], slot
 
     def send_to_neighbors_bulk(
         self,
@@ -492,7 +495,10 @@ class VertexCentricEngine:
         bulk_capable = (
             scripted is None
             and isinstance(program, BulkVertexProgram)
-            and getattr(program, "before_superstep", None) is None
+            and (
+                getattr(program, "before_superstep", None) is None
+                or program.bulk_master_hook
+            )
         )
         if self.mode == "scalar":
             use_bulk = False
@@ -726,6 +732,10 @@ class VertexCentricEngine:
         ))
         inbox = BulkInbox(n)
         dense_threshold = max(1, n // 20)
+        hook = (
+            getattr(program, "before_superstep", None)
+            if program.bulk_master_hook else None
+        )
 
         faults = rec.faults
         if faults is not None:
@@ -739,6 +749,20 @@ class VertexCentricEngine:
                 if faults is not None:
                     faults.checkpoint_if_due(superstep)
                 ctx.superstep = superstep
+                if hook is not None:
+                    # Master-compute hook, same placement as the scalar
+                    # path: before the quiescence check, merging any
+                    # returned vertices into the frontier.
+                    extra = hook(superstep, ctx)
+                    if extra is not None:
+                        extra_arr = np.unique(np.fromiter(
+                            (int(v) for v in extra), dtype=np.int64
+                        ))
+                        if extra_arr.size:
+                            active = (
+                                extra_arr if active.size == 0
+                                else np.union1d(active, extra_arr)
+                            )
                 inbox_dsts = inbox.destinations()
                 if active.size == 0 and inbox_dsts.size == 0:
                     return program

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
-from repro.platforms.common import forward_adjacency
+from repro.platforms.kernels import forward_adjacency, simple_degrees
 from repro.platforms.vertex_centric.engine import VertexContext, VertexProgram
 
 __all__ = ["BFSProgram", "LCCProgram"]
@@ -64,12 +64,16 @@ class LCCProgram(VertexProgram):
         self.lcc: np.ndarray | None = None
         self._triangles: np.ndarray | None = None
         self._forward: list[np.ndarray] | None = None
+        self._simple_degree: np.ndarray | None = None
 
     def setup(self, graph: Graph) -> None:
         n = graph.num_vertices
         self.lcc = np.zeros(n, dtype=np.float64)
         self._triangles = np.zeros(n, dtype=np.int64)
         self._forward = forward_adjacency(graph)
+        # Wedge denominators over the simple graph: self-loop slots
+        # contribute no wedge.
+        self._simple_degree = simple_degrees(graph)
 
     def compute(self, v: int, messages, ctx: VertexContext) -> None:
         fv = self._forward[v]
@@ -99,6 +103,6 @@ class LCCProgram(VertexProgram):
         if ctx.superstep == 1:
             ctx.activate(v)
             return
-        degree = ctx.graph.degree(v)
-        wedges = degree * (degree - 1)
+        degree = float(self._simple_degree[v])
+        wedges = degree * (degree - 1.0)
         self.lcc[v] = 2.0 * self._triangles[v] / wedges if wedges else 0.0

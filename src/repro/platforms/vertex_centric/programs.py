@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.graph import Graph
 from repro.errors import GraphStructureError
-from repro.platforms.common import forward_adjacency
+from repro.platforms.kernels import forward_adjacency
 from repro.platforms.vertex_centric.engine import (
     BulkInbox,
     BulkVertexContext,
@@ -427,14 +427,24 @@ class BCBackwardProgram(VertexProgram):
             ctx.send(v, p, contribution)
 
 
-class CoreDecompositionProgram(VertexProgram):
+class CoreDecompositionProgram(BulkVertexProgram):
     """Coreness via distributed peeling at increasing k.
 
     A master hook (Pregel ``master.compute``) bumps k when a peeling wave
     quiesces.  ``use_subset`` mirrors the paper's observation: platforms
     with vertex subsets (Flash, Ligra) wake only candidates, while others
     re-activate every alive vertex each superstep.
+
+    The bulk path (``bulk_master_hook`` opts the hook in on both paths)
+    peels each wave as array ops: decrement by the inbox's per-vertex
+    counts, compare against k, and ship one decrement along every edge
+    of the newly removed set.  Within a superstep each vertex's decision
+    reads only its own state and last superstep's messages, so the
+    scalar path's ascending-vertex order carries no information and the
+    two paths meter bit-identically.
     """
+
+    bulk_master_hook = True
 
     def __init__(self, *, use_subset: bool) -> None:
         self.use_subset = use_subset
@@ -484,6 +494,23 @@ class CoreDecompositionProgram(VertexProgram):
             self._removed_this_wave += 1
             ctx.aggregate("removed", 1.0)
             ctx.send_to_neighbors(v, 1)
+
+    def compute_bulk(
+        self, frontier: np.ndarray, inbox: BulkInbox, ctx: BulkVertexContext
+    ) -> None:
+        counts = inbox.count_per_vertex()
+        alive = frontier[~self.removed[frontier]]
+        self.degree[alive] -= counts[alive]
+        newly = alive[self.degree[alive] < self.k]
+        if newly.size == 0:
+            return
+        self.removed[newly] = True
+        self.coreness[newly] = self.k - 1
+        self._removed_this_wave += int(newly.size)
+        # One 1.0 per removal, like the scalar loop (integer-valued, so
+        # the single folded contribution sums identically).
+        ctx.aggregate("removed", float(newly.size))
+        ctx.send_to_neighbors_bulk(newly, np.ones(newly.size, dtype=np.int64))
 
 
 class TriangleCountProgram(VertexProgram):

@@ -56,3 +56,38 @@ def test_dynamic_command(capsys, tmp_path, monkeypatch):
     assert main(["dynamic"]) == 0
     out = capsys.readouterr().out
     assert "Incremental" in out
+
+
+def test_cache_dir_prints_stats_line(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+    assert main(["table2", "--cache-dir", str(tmp_path / "cache")]) == 0
+    err = capsys.readouterr().err
+    assert "cache: dir=" in err
+    assert "hits=" in err and "misses=" in err
+
+
+def test_no_cache_suppresses_stats_line(capsys, tmp_path, monkeypatch):
+    """--no-cache must not print an (all-zero) stats line — regression:
+    it did, even with no store configured — and must drop any ambient
+    store installed by embedding code for the duration of the run."""
+    from repro.bench.store import (
+        ArtifactStore,
+        get_artifact_store,
+        set_artifact_store,
+    )
+
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+    ambient = ArtifactStore(tmp_path / "ambient")
+    set_artifact_store(ambient)
+    try:
+        assert main(["table2", "--no-cache"]) == 0
+        assert get_artifact_store() is None
+        assert "cache:" not in capsys.readouterr().err
+    finally:
+        set_artifact_store(None)
+
+
+def test_default_run_has_no_cache_line(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+    assert main(["table2"]) == 0
+    assert "cache:" not in capsys.readouterr().err

@@ -76,6 +76,30 @@ class TestPoolDeterminism:
         assert tracer.counters.snapshot().get("pool_tasks") == 1.0
         assert outcomes[0] is outcomes[1] is outcomes[2]
 
+    def test_duplicate_faulted_specs_dedupe_to_one_execution(self):
+        """Fault schedules are part of the case key: two identical
+        faulted specs collapse into one dispatch, and both callers see
+        the same faulted outcome (crash events included)."""
+        schedule = FaultSchedule(crashes=(MachineCrash(superstep=2,
+                                                       machine=1),))
+        spec = CaseSpec.make(
+            "Pregel+", "pr", "S8-Std", cluster=scale_out(4),
+            apply_red_bar=False, fault_schedule=schedule,
+            checkpoint_interval=2,
+        )
+        twin = CaseSpec.make(
+            "Pregel+", "pr", "S8-Std", cluster=scale_out(4),
+            apply_red_bar=False, fault_schedule=schedule,
+            checkpoint_interval=2,
+        )
+        clear_case_cache()
+        with obs.tracing() as tracer:
+            outcomes = run_cases([spec, twin], jobs=2)
+        assert tracer.counters.snapshot().get("pool_tasks") == 1.0
+        assert outcomes[0] is outcomes[1]
+        assert outcomes[0].result.timeline is not None
+        assert outcomes[0].result.timeline.crashes
+
     def test_parallel_outcomes_seed_the_parent_memo(self):
         spec = CaseSpec.make("Ligra", "pr", "S8-Std")
         clear_case_cache()

@@ -1,0 +1,118 @@
+"""Scalar-vs-bulk parity of the block-centric BC and KC ports.
+
+:func:`bc_blocks_bulk` vectorizes the Brandes phases' metering while
+keeping the accumulation arithmetic literally identical to the scalar
+pass (same ``np.add.at`` calls on the same DAG ordering), so both the
+centrality values and the WorkTraces must match bit for bit.
+:func:`kc_blocks_bulk` replaces the per-root DFS with the shared
+level-synchronous expansion census.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import Graph, path_graph, random_graph, star_graph
+from repro.cluster import single_machine
+from repro.platforms import get_platform
+
+
+def _clustered_graph() -> Graph:
+    rng = np.random.default_rng(11)
+    src, dst = [], []
+    for c in range(5):
+        base = c * 12
+        for i in range(12):
+            for j in range(i + 1, 12):
+                if rng.random() < 0.7:
+                    src.append(base + i)
+                    dst.append(base + j)
+        if c:
+            src.append(base - 1)
+            dst.append(base)
+    return Graph.from_edges(src, dst, num_vertices=60, directed=False)
+
+
+RANDOM = random_graph(200, 900, seed=13)
+CLUSTERED = _clustered_graph()
+PATH = path_graph(40)
+STAR = star_graph(9)
+EMPTY = Graph.from_edges([], [], num_vertices=8, directed=False)
+GRAPHS = [RANDOM, CLUSTERED, PATH, STAR, EMPTY]
+GRAPH_IDS = ["random", "clustered", "path", "star", "empty"]
+
+
+def _assert_traces_identical(a, b):
+    assert a.supersteps == b.supersteps
+    for step_a, step_b in zip(a.steps, b.steps):
+        assert np.array_equal(step_a.ops, step_b.ops)
+        assert np.array_equal(step_a.msg_count, step_b.msg_count)
+        assert np.array_equal(step_a.msg_bytes, step_b.msg_bytes)
+
+
+def _run_both(algorithm, graph, **params):
+    platform = get_platform("Grape")
+    cluster = single_machine()
+    scalar = platform.run(
+        algorithm, graph, cluster, engine_mode="scalar", **params
+    )
+    bulk = platform.run(algorithm, graph, cluster, engine_mode="bulk", **params)
+    return scalar, bulk
+
+
+class TestBlockBCParity:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=GRAPH_IDS)
+    def test_trace_and_values_identical(self, graph):
+        scalar, bulk = _run_both("bc", graph)
+        assert np.array_equal(
+            np.asarray(scalar.values), np.asarray(bulk.values)
+        )
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    def test_nonzero_source(self):
+        scalar, bulk = _run_both("bc", RANDOM, source=17)
+        assert np.array_equal(
+            np.asarray(scalar.values), np.asarray(bulk.values)
+        )
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    def test_auto_mode_takes_bulk(self):
+        platform = get_platform("Grape")
+        auto = platform.run("bc", RANDOM, single_machine())
+        scalar, bulk = _run_both("bc", RANDOM)
+        assert np.array_equal(np.asarray(auto.values),
+                              np.asarray(scalar.values))
+        _assert_traces_identical(auto.trace, bulk.trace)
+
+    def test_engine_span_carries_path(self):
+        platform = get_platform("Grape")
+        for mode in ("bulk", "scalar"):
+            with obs.tracing() as tracer:
+                platform.run("bc", RANDOM, single_machine(), engine_mode=mode)
+            (span,) = [s for s in tracer.spans if s.category == "engine"]
+            assert span.attrs.get("path") == mode
+
+
+class TestBlockKCParity:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=GRAPH_IDS)
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_trace_and_count_identical(self, graph, k):
+        scalar, bulk = _run_both("kc", graph, k=k)
+        assert scalar.values == bulk.values
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    def test_auto_mode_takes_bulk(self):
+        platform = get_platform("Grape")
+        auto = platform.run("kc", CLUSTERED, single_machine())
+        scalar, bulk = _run_both("kc", CLUSTERED)
+        assert auto.values == scalar.values == bulk.values
+        _assert_traces_identical(auto.trace, bulk.trace)
+
+    def test_engine_span_carries_path(self):
+        platform = get_platform("Grape")
+        for mode in ("bulk", "scalar"):
+            with obs.tracing() as tracer:
+                platform.run("kc", CLUSTERED, single_machine(),
+                             engine_mode=mode)
+            (span,) = [s for s in tracer.spans if s.category == "engine"]
+            assert span.attrs.get("path") == mode

@@ -1,0 +1,225 @@
+"""Unit tests for :mod:`repro.platforms.kernels` — the shared flat-CSR
+primitives every bulk engine path is built from.
+
+The dtype contracts matter as much as the values: ``expand_segments``
+historically promoted to a platform-dependent dtype on empty inputs
+(implicit int64 promotion of ``np.repeat`` on empty operands), which
+made downstream index arithmetic differ between the empty and non-empty
+branches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Graph, path_graph, random_graph, star_graph
+from repro.platforms.kernels import (
+    ChunkedDrawBuffer,
+    closed_wedge_corners,
+    expand_segments,
+    forward_adjacency,
+    forward_edge_arrays,
+    lexsorted_csr,
+    self_loop_counts,
+    simple_degrees,
+    unique_pull_pairs,
+    vertex_order_positions,
+)
+
+RANDOM = random_graph(120, 500, seed=7)
+
+
+class TestExpandSegments:
+    INDPTR = np.array([0, 3, 3, 5, 9], dtype=np.int64)
+
+    def test_basic_expansion(self):
+        slots, owner_pos, counts = expand_segments(
+            self.INDPTR, np.array([0, 2, 3])
+        )
+        assert np.array_equal(slots, [0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert np.array_equal(owner_pos, [0, 0, 0, 1, 1, 2, 2, 2, 2])
+        assert np.array_equal(counts, [3, 2, 4])
+
+    def test_repeated_ids_expand_repeatedly(self):
+        slots, owner_pos, counts = expand_segments(
+            self.INDPTR, np.array([2, 2])
+        )
+        assert np.array_equal(slots, [3, 4, 3, 4])
+        assert np.array_equal(owner_pos, [0, 0, 1, 1])
+        assert np.array_equal(counts, [2, 2])
+
+    def test_empty_ids(self):
+        slots, owner_pos, counts = expand_segments(self.INDPTR, np.array([]))
+        for arr in (slots, owner_pos, counts):
+            assert arr.size == 0
+            assert arr.dtype == np.int64
+
+    def test_all_empty_segments(self):
+        slots, owner_pos, counts = expand_segments(
+            self.INDPTR, np.array([1, 1])
+        )
+        assert slots.size == 0 and owner_pos.size == 0
+        assert np.array_equal(counts, [0, 0])
+        for arr in (slots, owner_pos, counts):
+            assert arr.dtype == np.int64
+
+    def test_single_segment(self):
+        slots, owner_pos, counts = expand_segments(self.INDPTR, np.array([3]))
+        assert np.array_equal(slots, [5, 6, 7, 8])
+        assert np.array_equal(owner_pos, [0, 0, 0, 0])
+        assert np.array_equal(counts, [4])
+
+    def test_mixed_empty_segments(self):
+        slots, owner_pos, counts = expand_segments(
+            self.INDPTR, np.array([1, 0, 1, 2])
+        )
+        assert np.array_equal(slots, [0, 1, 2, 3, 4])
+        assert np.array_equal(owner_pos, [1, 1, 1, 3, 3])
+        assert np.array_equal(counts, [0, 3, 0, 2])
+
+    @pytest.mark.parametrize("ids", [[], [1], [1, 1], [0, 1, 2]])
+    def test_dtype_stable_across_branches(self, ids):
+        """int64 outputs regardless of input dtypes or emptiness."""
+        indptr32 = self.INDPTR.astype(np.int32)
+        slots, owner_pos, counts = expand_segments(
+            indptr32, np.array(ids, dtype=np.int32)
+        )
+        assert slots.dtype == np.int64
+        assert owner_pos.dtype == np.int64
+        assert counts.dtype == np.int64
+
+    def test_returned_empties_are_fresh(self):
+        """The empty branch must not alias a shared module constant."""
+        a, _, _ = expand_segments(self.INDPTR, np.array([]))
+        b, _, _ = expand_segments(self.INDPTR, np.array([]))
+        assert a is not b
+
+
+class TestLexsortedCSR:
+    def test_sorts_and_packs(self):
+        src = np.array([2, 0, 2, 0, 1])
+        dst = np.array([1, 5, 0, 2, 3])
+        indptr, s, d = lexsorted_csr(src, dst, 4)
+        assert np.array_equal(indptr, [0, 2, 3, 5, 5])
+        assert np.array_equal(s, [0, 0, 1, 2, 2])
+        assert np.array_equal(d, [2, 5, 3, 0, 1])
+
+    def test_aligned_arrays_follow_permutation(self):
+        src = np.array([1, 0, 1])
+        dst = np.array([2, 1, 0])
+        eid = np.array([10, 20, 30])
+        w = np.array([0.1, 0.2, 0.3])
+        indptr, s, d, eid_s, w_s, none = lexsorted_csr(
+            src, dst, 3, eid, w, None
+        )
+        assert np.array_equal(eid_s, [20, 30, 10])
+        assert np.allclose(w_s, [0.2, 0.3, 0.1])
+        assert none is None
+
+    def test_empty(self):
+        indptr, s, d = lexsorted_csr(np.array([]), np.array([]), 3)
+        assert np.array_equal(indptr, [0, 0, 0, 0])
+        assert s.size == 0 and d.size == 0
+
+
+class TestForwardView:
+    @pytest.mark.parametrize(
+        "graph",
+        [RANDOM, path_graph(20), star_graph(7)],
+        ids=["random", "path", "star"],
+    )
+    def test_flat_view_matches_lists(self, graph):
+        indptr, fsrc, fdst = forward_edge_arrays(graph)
+        lists = forward_adjacency(graph)
+        for v, fv in enumerate(lists):
+            assert np.array_equal(fdst[indptr[v]:indptr[v + 1]], fv)
+
+    def test_each_edge_oriented_once(self):
+        _, fsrc, fdst = forward_edge_arrays(RANDOM)
+        assert fsrc.size == RANDOM.num_edges
+        position = vertex_order_positions(RANDOM)
+        assert (position[fdst] > position[fsrc]).all()
+
+    def test_self_loops_never_forward(self):
+        g = Graph.from_edges(
+            [0, 0, 1], [0, 1, 1], num_vertices=3,
+            directed=False, drop_self_loops=False,
+        )
+        _, fsrc, fdst = forward_edge_arrays(g)
+        assert (fsrc != fdst).all()
+        assert fsrc.size == 1  # only the 0-1 edge
+
+    def test_closed_wedges_count_triangles(self):
+        from repro.algorithms.reference import triangle_count
+
+        indptr, fsrc, fdst = forward_edge_arrays(RANDOM)
+        v, u, w = closed_wedge_corners(indptr, fsrc, fdst, RANDOM.num_vertices)
+        assert v.size == triangle_count(RANDOM)
+        # every corner triple really is a triangle
+        keys = set((fsrc * RANDOM.num_vertices + fdst).tolist())
+        n = RANDOM.num_vertices
+        for a, b, c in zip(v.tolist(), u.tolist(), w.tolist()):
+            assert a * n + b in keys
+            assert b * n + c in keys
+            assert a * n + c in keys
+
+    def test_closed_wedges_empty_graph(self):
+        g = Graph.from_edges([], [], num_vertices=4, directed=False)
+        indptr, fsrc, fdst = forward_edge_arrays(g)
+        v, u, w = closed_wedge_corners(indptr, fsrc, fdst, 4)
+        assert v.size == u.size == w.size == 0
+        assert v.dtype == np.int64
+
+
+class TestLoopAccounting:
+    def test_self_loop_counts(self):
+        g = Graph.from_edges(
+            [0, 0, 1, 2], [0, 1, 1, 2], num_vertices=4,
+            directed=False, drop_self_loops=False,
+        )
+        assert np.array_equal(self_loop_counts(g), [1, 1, 1, 0])
+
+    def test_simple_degrees_exclude_loops(self):
+        g = Graph.from_edges(
+            [0, 0], [0, 1], num_vertices=3,
+            directed=False, drop_self_loops=False,
+        )
+        degrees = simple_degrees(g)
+        assert degrees.dtype == np.float64
+        assert np.array_equal(degrees, [1.0, 1.0, 0.0])
+
+
+class TestUniquePullPairs:
+    def test_dedupes_and_counts_calls(self):
+        owner = np.array([0, 0, 1, 1])
+        roots = np.array([0, 0, 0, 1, 1])
+        targets = np.array([2, 2, 3, 0, 2])
+        pull_root, pull_vertex, calls = unique_pull_pairs(
+            roots, targets, owner, 4
+        )
+        # (1, 2) is local (owner[2] == 1); the four others are remote,
+        # with (0, 2) requested twice.
+        assert calls == 4
+        assert np.array_equal(pull_root, [0, 0, 1])
+        assert np.array_equal(pull_vertex, [2, 3, 0])
+
+    def test_all_local(self):
+        owner = np.zeros(4, dtype=np.int64)
+        pull_root, pull_vertex, calls = unique_pull_pairs(
+            np.zeros(3, dtype=np.int64), np.array([1, 2, 3]), owner, 4
+        )
+        assert calls == 0
+        assert pull_root.size == pull_vertex.size == 0
+
+
+class TestChunkedDrawBuffer:
+    def test_scalar_and_bulk_streams_identical(self):
+        a = ChunkedDrawBuffer(np.random.default_rng(3), size=16)
+        b = ChunkedDrawBuffer(np.random.default_rng(3), size=16)
+        scalar = np.array([a.next() for _ in range(50)])
+        bulk = np.concatenate([b.take(7), b.take(1), b.take(30), b.take(12)])
+        assert np.array_equal(scalar, bulk)
+
+    def test_draws_in_half_open_unit_interval(self):
+        buf = ChunkedDrawBuffer(np.random.default_rng(5), size=8)
+        draws = buf.take(100)
+        assert (draws > 0.0).all() and (draws <= 1.0).all()

@@ -1,0 +1,226 @@
+"""Scalar-vs-bulk parity of the subgraph-centric (G-thinker) engine.
+
+Each algorithm (TC, KC, LCC) runs as two twin paths — the scalar
+per-task loop and the vectorized wave over the flat forward CSR — that
+promise *bit-identical* WorkTraces: same per-phase ops, message counts,
+and message bytes, and equal results.  These tests diff whole G-thinker
+runs between the paths and pin the edge-case semantics the scalar path
+defines: degree-0/1 vertices get LCC 0.0 (never NaN), and self-loops
+close no triangle or clique.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import Graph, path_graph, random_graph, star_graph
+from repro.cluster import single_machine
+from repro.cluster.cost import NUM_PARTS, TraceRecorder
+from repro.errors import GraphStructureError
+from repro.platforms import get_platform
+from repro.platforms.subgraph_centric.engine import SubgraphCentricEngine
+
+
+def _clustered_graph() -> Graph:
+    rng = np.random.default_rng(11)
+    src, dst = [], []
+    for c in range(5):
+        base = c * 12
+        for i in range(12):
+            for j in range(i + 1, 12):
+                if rng.random() < 0.7:
+                    src.append(base + i)
+                    dst.append(base + j)
+        if c:
+            src.append(base - 1)
+            dst.append(base)
+    return Graph.from_edges(src, dst, num_vertices=60, directed=False)
+
+
+RANDOM = random_graph(200, 900, seed=13)
+CLUSTERED = _clustered_graph()
+TRIANGLE_FREE = path_graph(40)
+STAR = star_graph(9)
+EMPTY = Graph.from_edges([], [], num_vertices=8, directed=False)
+GRAPHS = [RANDOM, CLUSTERED, TRIANGLE_FREE, STAR, EMPTY]
+GRAPH_IDS = ["random", "clustered", "triangle-free", "star", "empty"]
+
+
+def _loopy_graph() -> Graph:
+    """A triangle with self-loops kept, plus isolated and degree-1
+    vertices — the edge cases the scalar semantics define."""
+    src = [0, 1, 0, 0, 2, 3]
+    dst = [1, 2, 2, 0, 2, 4]
+    return Graph.from_edges(
+        src, dst, num_vertices=7, directed=False, drop_self_loops=False
+    )
+
+
+def _assert_traces_identical(a, b):
+    assert a.supersteps == b.supersteps
+    for step_a, step_b in zip(a.steps, b.steps):
+        assert np.array_equal(step_a.ops, step_b.ops)
+        assert np.array_equal(step_a.msg_count, step_b.msg_count)
+        assert np.array_equal(step_a.msg_bytes, step_b.msg_bytes)
+
+
+def _run_both(algorithm, graph, **params):
+    platform = get_platform("G-thinker")
+    cluster = single_machine()
+    scalar = platform.run(
+        algorithm, graph, cluster, engine_mode="scalar", **params
+    )
+    bulk = platform.run(algorithm, graph, cluster, engine_mode="bulk", **params)
+    return scalar, bulk
+
+
+class TestSubgraphParity:
+    """Whole-platform G-thinker runs diffed between the two paths."""
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=GRAPH_IDS)
+    def test_tc(self, graph):
+        scalar, bulk = _run_both("tc", graph)
+        assert scalar.values == bulk.values
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=GRAPH_IDS)
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_kc(self, graph, k):
+        scalar, bulk = _run_both("kc", graph, k=k)
+        assert scalar.values == bulk.values
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=GRAPH_IDS)
+    def test_lcc(self, graph):
+        scalar, bulk = _run_both("lcc", graph)
+        assert np.array_equal(
+            np.asarray(scalar.values), np.asarray(bulk.values)
+        )
+        _assert_traces_identical(scalar.trace, bulk.trace)
+
+    def test_loopy_graph_parity(self):
+        for algorithm, params in [("tc", {}), ("kc", {"k": 3}), ("lcc", {})]:
+            scalar, bulk = _run_both(algorithm, _loopy_graph(), **params)
+            assert np.array_equal(
+                np.asarray(scalar.values), np.asarray(bulk.values)
+            )
+            _assert_traces_identical(scalar.trace, bulk.trace)
+
+    def test_auto_mode_takes_bulk(self):
+        platform = get_platform("G-thinker")
+        auto = platform.run("tc", RANDOM, single_machine())
+        scalar, bulk = _run_both("tc", RANDOM)
+        assert auto.values == scalar.values == bulk.values
+        _assert_traces_identical(auto.trace, bulk.trace)
+
+    def test_engine_span_carries_path(self):
+        platform = get_platform("G-thinker")
+        with obs.tracing() as tracer:
+            platform.run("tc", RANDOM, single_machine(), engine_mode="bulk")
+        (engine_span,) = [s for s in tracer.spans if s.category == "engine"]
+        assert engine_span.attrs.get("path") == "bulk"
+        with obs.tracing() as tracer:
+            platform.run("tc", RANDOM, single_machine(), engine_mode="scalar")
+        (engine_span,) = [s for s in tracer.spans if s.category == "engine"]
+        assert engine_span.attrs.get("path") == "scalar"
+
+    def test_cache_counters_match(self):
+        """The bulk pull aggregation replicates the scalar cache's
+        hit/miss observability counters exactly."""
+        counts = {}
+        for mode in ("scalar", "bulk"):
+            with obs.tracing() as tracer:
+                get_platform("G-thinker").run(
+                    "kc", CLUSTERED, single_machine(), engine_mode=mode, k=4
+                )
+            totals = tracer.counters.snapshot()
+            counts[mode] = (
+                totals.get(obs.CACHE_MISSES, 0.0),
+                totals.get(obs.CACHE_HITS, 0.0),
+            )
+        assert counts["scalar"] == counts["bulk"]
+
+    def test_kc_rejects_small_k_on_both_paths(self):
+        engine = SubgraphCentricEngine(STAR, TraceRecorder(NUM_PARTS))
+        with pytest.raises(GraphStructureError):
+            engine.count_k_cliques(2)
+        with pytest.raises(GraphStructureError):
+            engine.count_k_cliques_bulk(2)
+
+
+class TestSubgraphEdgeCases:
+    """Degree-0/1 and self-loop semantics (regression: these produced
+    NaN coefficients and phantom triangles/cliques)."""
+
+    def test_isolated_and_leaf_vertices_get_zero_lcc(self):
+        graph = _loopy_graph()
+        for mode in ("scalar", "bulk"):
+            result = get_platform("G-thinker").run(
+                "lcc", graph, single_machine(), engine_mode=mode
+            )
+            lcc = np.asarray(result.values)
+            assert not np.isnan(lcc).any()
+            assert lcc[4] == 0.0  # degree 1
+            assert lcc[5] == 0.0  # isolated
+            assert lcc[6] == 0.0  # isolated
+
+    def test_self_loops_close_no_triangle(self):
+        graph = _loopy_graph()
+        for mode in ("scalar", "bulk"):
+            result = get_platform("G-thinker").run(
+                "tc", graph, single_machine(), engine_mode=mode
+            )
+            assert result.values == 1  # only (0, 1, 2)
+
+    def test_self_loops_join_no_clique(self):
+        graph = _loopy_graph()
+        for mode in ("scalar", "bulk"):
+            result = get_platform("G-thinker").run(
+                "kc", graph, single_machine(), engine_mode=mode, k=3
+            )
+            assert result.values == 1
+
+    def test_looped_vertex_lcc_uses_simple_degree(self):
+        """Vertex 0 has simple degree 2 (loop slot excluded) and sits in
+        one triangle, so its coefficient is exactly 1.0."""
+        graph = _loopy_graph()
+        result = get_platform("G-thinker").run(
+            "lcc", graph, single_machine(), engine_mode="bulk"
+        )
+        assert np.asarray(result.values)[0] == 1.0
+
+
+class TestPullCacheScope:
+    """pull_adjacency dedupes within one phase and re-meters across
+    phases — the invariant the bulk per-wave aggregation relies on
+    (regression: the cache used to persist across phases, so a second
+    wave's pulls were silently free on the scalar path only)."""
+
+    def test_repeat_pull_within_phase_charges_once(self):
+        recorder = TraceRecorder(NUM_PARTS)
+        engine = SubgraphCentricEngine(STAR, recorder)
+        u = int(np.flatnonzero(engine.owner != engine.owner[0])[0])
+        worker = int(engine.owner[0])
+        engine.begin_phase()
+        engine.pull_adjacency(worker, u)
+        engine.pull_adjacency(worker, u)
+        engine.end_phase()
+        trace = recorder.trace
+        assert trace.steps[0].msg_count.sum() == 1
+
+    def test_pull_in_two_phases_charges_twice(self):
+        recorder = TraceRecorder(NUM_PARTS)
+        engine = SubgraphCentricEngine(STAR, recorder)
+        u = int(np.flatnonzero(engine.owner != engine.owner[0])[0])
+        worker = int(engine.owner[0])
+        for _ in range(2):
+            engine.begin_phase()
+            engine.pull_adjacency(worker, u)
+            engine.end_phase()
+        trace = recorder.trace
+        assert trace.supersteps == 2
+        assert trace.steps[0].msg_count.sum() == 1
+        assert trace.steps[1].msg_count.sum() == 1
+        assert np.array_equal(
+            trace.steps[0].msg_bytes, trace.steps[1].msg_bytes
+        )
