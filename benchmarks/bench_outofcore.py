@@ -1,0 +1,263 @@
+"""Out-of-core dataset shipping: peak RSS and wall-clock, memory vs mmap.
+
+Runs a real S9 grid (PR on S9-Std, ``scale_divisor=100`` → 272 k
+vertices / ~3.3 M edges) through the pool executor at ``jobs=4`` in four
+legs, each in a **fresh subprocess** (``resource.getrusage``'s
+``ru_maxrss`` is a process-lifetime high-water mark, so legs must not
+share a process):
+
+* ``memory-cold`` / ``mmap-cold`` — fresh store; workers generate the
+  dataset (in RAM vs sharded-to-disk) and run PR on four platforms.
+* ``memory-warm`` / ``mmap-warm`` — same store the cold leg warmed;
+  three *different* platforms, so every case is cold but the dataset is
+  served from the store (unpickled per worker vs mmapped zero-copy).
+* ``memory-ship`` / ``mmap-ship`` — the shipping path in isolation:
+  build/open the dataset from the warm store and stop, no cases.  The
+  grid legs' peaks are dominated by the PR engine's working set, which
+  the dataset layer cannot change; the ship legs measure exactly what
+  it *does* change — resident size after a worker has the graph in hand
+  (full unpickled arrays vs unfaulted ``numpy.memmap`` views).
+
+Each leg reports wall-clock, ``ru_maxrss`` for self and children, and a
+SHA-256 fingerprint per outcome (grid legs) or over the CSR arrays
+(ship legs — hashed *after* the RSS reading, so paging for the hash
+does not pollute the measurement); the run asserts memory/mmap
+fingerprint equality (bit-identical results) and that the mmap ship
+leg's resident size is below the in-memory format's.  Results land in
+``benchmarks/out/BENCH_outofcore.json``.
+
+Runs two ways: under pytest (asserts the RSS headline) or as a script —
+``python benchmarks/bench_outofcore.py``.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Platforms for the cold grid and the (disjoint) warm grid.
+COLD_PLATFORMS = ("Flash", "Grape", "Ligra", "Pregel+")
+WARM_PLATFORMS = ("GraphX", "PowerGraph", "G-thinker")
+
+DATASET = "S9-Std"
+ALGORITHM = "pr"
+SCALE_DIVISOR = 100
+JOBS = 4
+
+
+def _fingerprint(outcome) -> str:
+    """Stable digest of everything an outcome computes."""
+    import numpy as np
+
+    h = hashlib.sha256()
+    h.update(repr((outcome.platform, outcome.algorithm, outcome.dataset,
+                   outcome.status, outcome.red_bar)).encode())
+    if outcome.result is not None:
+        h.update(np.ascontiguousarray(
+            np.asarray(outcome.result.values)).tobytes())
+        h.update(repr(outcome.result.metrics).encode())
+    return h.hexdigest()
+
+
+def run_leg(store_root: str, dataset_format: str, platforms: list[str],
+            *, jobs: int, scale_divisor: int) -> dict:
+    """Execute one leg in *this* process and return its measurements."""
+    from repro.bench import CaseSpec, run_cases
+    from repro.bench.store import ArtifactStore, set_artifact_store
+    from repro.datagen import set_dataset_format
+
+    set_artifact_store(ArtifactStore(store_root))
+    set_dataset_format(dataset_format)
+    specs = [
+        CaseSpec.make(p, ALGORITHM, DATASET, scale_divisor=scale_divisor)
+        for p in platforms
+    ]
+    start = time.perf_counter()
+    outcomes = run_cases(specs, jobs=jobs)
+    wall_s = time.perf_counter() - start
+    self_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {
+        "wall_s": wall_s,
+        "rss_self_mib": self_kib / 1024.0,
+        "rss_children_mib": children_kib / 1024.0,
+        "rss_peak_mib": max(self_kib, children_kib) / 1024.0,
+        "fingerprints": [_fingerprint(oc) for oc in outcomes],
+    }
+
+
+def run_ship_leg(store_root: str, dataset_format: str,
+                 *, scale_divisor: int) -> dict:
+    """Build/open the dataset from a warm store and stop — no cases.
+
+    Isolates what the dataset layer ships to a worker: the in-memory
+    format unpickles full arrays, the mmap format opens unfaulted
+    ``numpy.memmap`` views.  The RSS high-water is read *before* the
+    parity hash pages the arrays in.
+    """
+    import numpy as np
+
+    from repro.bench.store import ArtifactStore, set_artifact_store
+    from repro.datagen import build_dataset, set_dataset_format
+
+    set_artifact_store(ArtifactStore(store_root))
+    set_dataset_format(dataset_format)
+    start = time.perf_counter()
+    graph = build_dataset(DATASET, scale_divisor=scale_divisor).graph
+    wall_s = time.perf_counter() - start
+    self_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(graph.indptr).tobytes())
+    h.update(np.ascontiguousarray(graph.indices).tobytes())
+    return {
+        "wall_s": wall_s,
+        "rss_self_mib": self_kib / 1024.0,
+        "rss_children_mib": 0.0,
+        "rss_peak_mib": self_kib / 1024.0,
+        "fingerprints": [h.hexdigest()],
+    }
+
+
+def _spawn_leg(store_root: str, dataset_format: str, platforms,
+               *, jobs: int, scale_divisor: int, ship: bool = False) -> dict:
+    """Run one leg in a fresh subprocess (clean ru_maxrss baseline)."""
+    cmd = [
+        sys.executable, os.path.abspath(__file__), "--leg", dataset_format,
+        "--store-root", store_root, "--platforms", ",".join(platforms),
+        "--jobs", str(jobs), "--scale-divisor", str(scale_divisor),
+    ]
+    if ship:
+        cmd.append("--ship")
+    proc = subprocess.run(
+        cmd, capture_output=True, text=True, timeout=3600,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{dataset_format} leg failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def run_outofcore(*, jobs: int = JOBS,
+                  scale_divisor: int = SCALE_DIVISOR) -> dict:
+    """Run all four legs, assert parity + the RSS headline, persist JSON."""
+    legs = {}
+    with tempfile.TemporaryDirectory(prefix="repro-ooc-mem-") as mem_root, \
+            tempfile.TemporaryDirectory(prefix="repro-ooc-mmap-") as mmap_root:
+        for fmt, root in (("memory", mem_root), ("mmap", mmap_root)):
+            legs[f"{fmt}-cold"] = _spawn_leg(
+                root, fmt, COLD_PLATFORMS,
+                jobs=jobs, scale_divisor=scale_divisor)
+            legs[f"{fmt}-warm"] = _spawn_leg(
+                root, fmt, WARM_PLATFORMS,
+                jobs=jobs, scale_divisor=scale_divisor)
+            legs[f"{fmt}-ship"] = _spawn_leg(
+                root, fmt, (), jobs=1, scale_divisor=scale_divisor,
+                ship=True)
+
+    for temp in ("cold", "warm", "ship"):
+        if legs[f"memory-{temp}"]["fingerprints"] != \
+                legs[f"mmap-{temp}"]["fingerprints"]:
+            raise AssertionError(
+                f"mmap {temp} outcomes diverge from the in-memory format"
+            )
+
+    results = {
+        "dataset": DATASET,
+        "algorithm": ALGORITHM,
+        "scale_divisor": scale_divisor,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "cold_platforms": list(COLD_PLATFORMS),
+        "warm_platforms": list(WARM_PLATFORMS),
+        "legs": {
+            name: {k: v for k, v in leg.items() if k != "fingerprints"}
+            for name, leg in legs.items()
+        },
+        "outcomes_identical": True,
+        "rss_reduction_cold": (
+            legs["memory-cold"]["rss_peak_mib"]
+            / legs["mmap-cold"]["rss_peak_mib"]
+        ),
+        "rss_reduction_warm": (
+            legs["memory-warm"]["rss_peak_mib"]
+            / legs["mmap-warm"]["rss_peak_mib"]
+        ),
+        "rss_reduction_ship": (
+            legs["memory-ship"]["rss_self_mib"]
+            / legs["mmap-ship"]["rss_self_mib"]
+        ),
+    }
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_outofcore.json"
+    path.write_text(json.dumps(results, indent=2), encoding="utf-8")
+
+    print(f"out-of-core {DATASET} (divisor {scale_divisor}, "
+          f"jobs={jobs}, cpu_count={results['cpu_count']}):")
+    for name in ("memory-cold", "mmap-cold", "memory-warm", "mmap-warm",
+                 "memory-ship", "mmap-ship"):
+        leg = legs[name]
+        print(f"  {name:12s}: peak {leg['rss_peak_mib']:7.1f} MiB "
+              f"(self {leg['rss_self_mib']:.1f} / "
+              f"children {leg['rss_children_mib']:.1f}), "
+              f"{leg['wall_s']:.1f}s")
+    print(f"  cold peak-RSS reduction: "
+          f"{results['rss_reduction_cold']:.2f}x")
+    print(f"  warm peak-RSS reduction: "
+          f"{results['rss_reduction_warm']:.2f}x")
+    print(f"  shipping resident-size reduction: "
+          f"{results['rss_reduction_ship']:.2f}x")
+    print(f"wrote {path}")
+    return results
+
+
+def test_outofcore(regen):
+    """mmap shipping must cut the resident size of a shipped dataset
+    below the in-memory format's, with bit-identical outcomes (asserted
+    inside run_outofcore)."""
+    results = regen(lambda: run_outofcore())
+    assert results["rss_reduction_ship"] > 1.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--leg", default=None,
+                        help="internal: run one leg and print JSON")
+    parser.add_argument("--store-root", default=None)
+    parser.add_argument("--platforms", default=None)
+    parser.add_argument("--jobs", type=int, default=JOBS)
+    parser.add_argument("--scale-divisor", type=int, default=SCALE_DIVISOR)
+    parser.add_argument("--ship", action="store_true",
+                        help="internal: dataset-shipping leg, no cases")
+    args = parser.parse_args()
+    if args.leg is not None:
+        if args.ship:
+            print(json.dumps(run_ship_leg(
+                args.store_root, args.leg,
+                scale_divisor=args.scale_divisor,
+            )))
+        else:
+            print(json.dumps(run_leg(
+                args.store_root, args.leg, args.platforms.split(","),
+                jobs=args.jobs, scale_divisor=args.scale_divisor,
+            )))
+        return
+    results = run_outofcore(jobs=args.jobs,
+                            scale_divisor=args.scale_divisor)
+    if results["rss_reduction_ship"] <= 1.0:
+        raise SystemExit(
+            f"mmap shipping did not beat the in-memory format "
+            f"({results['rss_reduction_ship']:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

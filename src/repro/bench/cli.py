@@ -475,6 +475,15 @@ def main(argv: list[str] | None = None) -> int:
         help="in-process dataset lru_cache size (default "
              "$REPRO_DATASET_CACHE_SIZE or 32)",
     )
+    parser.add_argument(
+        "--dataset-format",
+        choices=["memory", "mmap"],
+        default="memory",
+        help="dataset container format: 'memory' builds graphs in RAM, "
+             "'mmap' generates them to on-disk CSR in bounded memory "
+             "and serves numpy.memmap views (bit-identical outcomes; "
+             "see docs/scaling.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -511,13 +520,14 @@ def _configure_harness(args):
     ``None``) so :func:`main` can print its stats line and uninstall it.
     """
     from repro.bench import pool, store as store_mod
-    from repro.datagen.catalog import set_dataset_cache_size
+    from repro.datagen.catalog import set_dataset_cache_size, set_dataset_format
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     pool.set_default_jobs(args.jobs)
     if args.dataset_cache_size is not None:
         set_dataset_cache_size(args.dataset_cache_size)
+    set_dataset_format(args.dataset_format)
     store = None
     if args.no_cache:
         # Also drop any ambient store installed by embedding code: the
@@ -527,12 +537,23 @@ def _configure_harness(args):
     elif args.cache_dir:
         store = store_mod.ArtifactStore(args.cache_dir)
         store_mod.set_artifact_store(store)
+    elif args.dataset_format == "mmap":
+        # mmap shipping needs a store the pool workers share, so each
+        # dataset is generated once and mmapped everywhere; without
+        # --cache-dir, use a fresh run-scoped directory.
+        import tempfile
+
+        store = store_mod.ArtifactStore(
+            tempfile.mkdtemp(prefix="repro-bench-store-")
+        )
+        store_mod.set_artifact_store(store)
     return store
 
 
 def _teardown_harness(store) -> None:
     """Print cache stats, then restore the sequential no-store defaults."""
     from repro.bench import pool, store as store_mod
+    from repro.datagen.catalog import set_dataset_format
 
     if store is not None:
         stats = store.stats()
@@ -543,6 +564,7 @@ def _teardown_harness(store) -> None:
         )
         store_mod.set_artifact_store(None)
     pool.set_default_jobs(1)
+    set_dataset_format("memory")
 
 
 def _dispatch(args) -> int:

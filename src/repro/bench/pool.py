@@ -83,13 +83,21 @@ class WorkerReport:
     store_stats: tuple[tuple[str, int], ...] = ()
 
 
-def _worker_init(store_root: str | None, cache_size: int | None) -> None:
+def _worker_init(
+    store_root: str | None,
+    cache_size: int | None,
+    dataset_format: str = "memory",
+) -> None:
     """Initializer run once per worker process.
 
-    Re-installs the persistent store and the dataset-cache size so the
-    pool behaves identically under every multiprocessing start method
-    (``fork`` workers inherit the globals anyway; ``spawn``/
-    ``forkserver`` workers would not).
+    Re-installs the persistent store, the dataset-cache size, and the
+    dataset container format so the pool behaves identically under every
+    multiprocessing start method (``fork`` workers inherit the globals
+    anyway; ``spawn``/``forkserver`` workers would not).  Propagating
+    the format is what makes mmap shipping zero-copy: each worker
+    resolves datasets through the shared store's ``dataset_csr_path``
+    and opens the one on-disk CSR file read-only, instead of unpickling
+    a private in-RAM copy.
     """
     if store_root is not None:
         set_artifact_store(ArtifactStore(store_root))
@@ -97,6 +105,9 @@ def _worker_init(store_root: str | None, cache_size: int | None) -> None:
         from repro.datagen.catalog import set_dataset_cache_size
 
         set_dataset_cache_size(cache_size)
+    from repro.datagen.catalog import set_dataset_format
+
+    set_dataset_format(dataset_format)
 
 
 def _run_spec(spec: CaseSpec, traced: bool) -> WorkerReport:
@@ -212,16 +223,17 @@ def run_cases(
     tracer = get_tracer()
     store = get_artifact_store()
     store_root = str(store.root) if store is not None else None
-    from repro.datagen.catalog import dataset_cache_info
+    from repro.datagen.catalog import dataset_cache_info, get_dataset_format
 
     cache_size = dataset_cache_info().maxsize
+    dataset_format = get_dataset_format()
     outcomes: dict[CaseSpec, CaseOutcome] = {}
     with tracer.span("pool", category="pool", jobs=jobs,
                      cases=len(unique)):
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(unique)),
             initializer=_worker_init,
-            initargs=(store_root, cache_size),
+            initargs=(store_root, cache_size, dataset_format),
         ) as executor:
             futures = []
             for spec in unique:

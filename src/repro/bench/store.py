@@ -47,6 +47,7 @@ import enum
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from pathlib import Path
 
@@ -147,8 +148,22 @@ class ArtifactStore:
         try:
             with path.open("rb") as fh:
                 artifact = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            if tracer.enabled:
+                tracer.add(STORE_MISSES, 1.0)
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError, TypeError):
+                ImportError, IndexError, ValueError, TypeError) as exc:
+            # The entry exists but cannot be read — a torn write from a
+            # killed process, pickle format drift, or bit rot.  Still a
+            # miss (the next put overwrites it), but say so: silent
+            # rebuild loops on a corrupt store are miserable to diagnose.
+            print(
+                f"repro-bench: corrupt store entry treated as miss: "
+                f"{path} (kind={kind}): {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
             self.misses += 1
             if tracer.enabled:
                 tracer.add(STORE_MISSES, 1.0)
@@ -191,6 +206,23 @@ class ArtifactStore:
     def store_dataset(self, payload: tuple, instance: object) -> None:
         """Dataset half of the catalog's persistence hooks."""
         self.put("dataset", payload, instance)
+
+    def dataset_csr_path(self, payload: tuple) -> Path:
+        """Content-addressed location for a dataset's on-disk CSR file.
+
+        Same addressing discipline as the pickle entries (payload +
+        :data:`STORE_VERSION` → SHA-256), but a distinct ``dataset-csr``
+        kind and a ``.csr`` suffix so the mmap-format files sit beside —
+        never collide with — the pickled instances.  Pool workers resolve
+        the same payload to the same path and ``mmap`` the one file
+        zero-copy instead of unpickling per process.  The file itself is
+        written atomically by
+        :func:`repro.core.mmapcsr.CSRStreamWriter.finalize`.
+        """
+        key = canonical_key("dataset-csr", payload)
+        path = self.root / "dataset-csr" / key[:2] / f"{key}.csr"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return path
 
 
 _STORE: ArtifactStore | None = None

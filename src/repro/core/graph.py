@@ -111,6 +111,8 @@ class Graph:
         weights: np.ndarray | None,
         directed: bool,
         num_edges: int,
+        *,
+        validate: bool = True,
     ) -> None:
         if indptr.ndim != 1 or indices.ndim != 1:
             raise GraphFormatError("indptr/indices must be 1-D arrays")
@@ -119,7 +121,7 @@ class Graph:
                 "indptr must start at 0 and end at len(indices): "
                 f"got [{indptr[0]}, {indptr[-1]}] with {indices.shape[0]} slots"
             )
-        if np.any(np.diff(indptr) < 0):
+        if validate and np.any(np.diff(indptr) < 0):
             raise GraphFormatError("indptr must be non-decreasing")
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
@@ -133,7 +135,13 @@ class Graph:
         self._rev_weights: np.ndarray | None = None
         self._sorted_adjacency: bool | None = None
         n = self.num_vertices
-        if self.indices.size and (self.indices.min() < 0 or self.indices.max() >= n):
+        # The neighbour-range scan reads every CSR slot; ``validate=False``
+        # skips it for trusted sources — notably memory-mapped graphs
+        # (repro.core.mmapcsr), where paging the whole edge file through a
+        # min/max at open time would defeat the out-of-core design.
+        if validate and self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n
+        ):
             raise GraphFormatError(
                 f"neighbour id out of range [0, {n}): "
                 f"[{self.indices.min()}, {self.indices.max()}]"
@@ -236,12 +244,19 @@ class Graph:
         weights: np.ndarray | None = None,
         directed: bool = False,
         num_edges: int | None = None,
+        validate: bool = True,
     ) -> "Graph":
-        """Wrap pre-built CSR arrays (no copying beyond dtype coercion)."""
+        """Wrap pre-built CSR arrays (no copying beyond dtype coercion).
+
+        ``validate=False`` skips the full-array sanity scans; only pass
+        it for arrays whose invariants are guaranteed by construction
+        (e.g. a digest-verified on-disk CSR file).
+        """
         if num_edges is None:
             slots = int(indices.shape[0])
             num_edges = slots if directed else slots // 2
-        return cls(indptr, indices, weights, directed, num_edges)
+        return cls(indptr, indices, weights, directed, num_edges,
+                   validate=validate)
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -40,6 +40,11 @@ from repro.datagen.dynamic import (
     EdgeBatch,
     generate_stream,
 )
+from repro.datagen.shards import (
+    OutOfCoreGeneration,
+    count_unique_edges,
+    generate_fft_to_disk,
+)
 from repro.datagen.catalog import (
     DATASETS,
     DEFAULT_SCALE_DIVISOR,
@@ -49,7 +54,9 @@ from repro.datagen.catalog import (
     clear_dataset_cache,
     dataset_cache_info,
     dataset_names,
+    get_dataset_format,
     set_dataset_cache_size,
+    set_dataset_format,
     set_dataset_persistence,
 )
 
@@ -91,4 +98,9 @@ __all__ = [
     "dataset_names",
     "set_dataset_cache_size",
     "set_dataset_persistence",
+    "set_dataset_format",
+    "get_dataset_format",
+    "OutOfCoreGeneration",
+    "generate_fft_to_disk",
+    "count_unique_edges",
 ]

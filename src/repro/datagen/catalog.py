@@ -25,7 +25,8 @@ from repro.datagen.fft import (
     calibrate_alpha,
     groups_for_diameter,
 )
-from repro.datagen.base import GenerationResult
+from repro.datagen.base import GenerationResult, TrialCounter
+from repro.datagen.shards import count_unique_edges, generate_fft_to_disk
 from repro.errors import GeneratorParameterError
 from repro.obs import DATASET_CACHE_HITS, DATASET_CACHE_MISSES, get_tracer
 
@@ -33,11 +34,14 @@ __all__ = [
     "DatasetSpec",
     "DatasetInstance",
     "DATASETS",
+    "DATASET_FORMATS",
     "dataset_names",
     "build_dataset",
     "clear_dataset_cache",
     "dataset_cache_info",
     "set_dataset_cache_size",
+    "set_dataset_format",
+    "get_dataset_format",
     "set_dataset_persistence",
     "DatasetPersistence",
 ]
@@ -53,6 +57,12 @@ CACHE_SIZE_ENV = "REPRO_DATASET_CACHE_SIZE"
 #: Default in-process cache size when neither the env var nor the
 #: runtime knob overrides it.
 DEFAULT_CACHE_SIZE = 32
+
+#: Supported dataset container formats: ``"memory"`` builds (or
+#: unpickles) the whole graph in RAM, ``"mmap"`` generates to on-disk
+#: CSR in bounded memory and opens it via ``numpy.memmap``
+#: (``repro-bench --dataset-format mmap``; see docs/scaling.md).
+DATASET_FORMATS = ("memory", "mmap")
 
 #: Default down-scaling factor for mean degree.  The paper's datasets have
 #: mean degrees of 85–265, which at reproduction scale would make the
@@ -140,6 +150,14 @@ class DatasetPersistence(Protocol):
     (:class:`repro.bench.store.ArtifactStore`) implements this; the
     catalog itself stays storage-agnostic — ``datagen`` must not import
     ``bench``.
+
+    A persistence layer *may* additionally expose
+    ``dataset_csr_path(payload) -> os.PathLike`` — a stable
+    content-addressed location for the dataset's on-disk CSR file.  The
+    mmap dataset format uses it to resolve datasets to shard files that
+    pool workers open zero-copy instead of unpickling; layers without it
+    fall back to a per-process scratch directory (no cross-process
+    sharing).
     """
 
     def load_dataset(self, payload: tuple) -> DatasetInstance | None:
@@ -166,6 +184,39 @@ def set_dataset_persistence(
     previous = _PERSISTENCE
     _PERSISTENCE = layer
     return previous
+
+
+#: Active dataset container format (see :data:`DATASET_FORMATS`).
+_DATASET_FORMAT = "memory"
+
+#: Per-process scratch directory for CSR files when the persistence layer
+#: does not provide ``dataset_csr_path`` (created lazily, one per process).
+_FALLBACK_CSR_DIR: str | None = None
+
+
+def set_dataset_format(fmt: str) -> str:
+    """Select the dataset container format; returns the previous one.
+
+    ``"memory"`` (the default) is the historical in-RAM path.  ``"mmap"``
+    generates datasets shard-by-shard to an on-disk CSR file in bounded
+    memory and serves a ``numpy.memmap``-backed graph — both formats
+    produce bit-identical adjacency (see docs/scaling.md).  The format is
+    part of the in-process cache key, so switching never serves a stale
+    container kind.
+    """
+    if fmt not in DATASET_FORMATS:
+        raise GeneratorParameterError(
+            f"unknown dataset format {fmt!r}; choose from {list(DATASET_FORMATS)}"
+        )
+    global _DATASET_FORMAT
+    previous = _DATASET_FORMAT
+    _DATASET_FORMAT = fmt
+    return previous
+
+
+def get_dataset_format() -> str:
+    """The active dataset container format (``"memory"`` or ``"mmap"``)."""
+    return _DATASET_FORMAT
 
 
 def build_dataset(
@@ -200,10 +251,11 @@ def build_dataset(
             f"degree_divisor must be >= 1, got {degree_divisor}"
         )
     tracer = get_tracer()
+    fmt = _DATASET_FORMAT
     if not tracer.enabled:
-        return _build_cached(name, scale_divisor, degree_divisor, seed)
+        return _build_cached(name, scale_divisor, degree_divisor, seed, fmt)
     hits_before = _build_cached.cache_info().hits
-    instance = _build_cached(name, scale_divisor, degree_divisor, seed)
+    instance = _build_cached(name, scale_divisor, degree_divisor, seed, fmt)
     if _build_cached.cache_info().hits > hits_before:
         tracer.add(DATASET_CACHE_HITS, 1.0)
     else:
@@ -212,9 +264,11 @@ def build_dataset(
 
 
 def _build(
-    name: str, scale_divisor: int, degree_divisor: int, seed: int
+    name: str, scale_divisor: int, degree_divisor: int, seed: int, fmt: str
 ) -> DatasetInstance:
     """Build one dataset, consulting the persistent layer first."""
+    if fmt == "mmap":
+        return _build_mmap(name, scale_divisor, degree_divisor, seed)
     payload = (name, scale_divisor, degree_divisor, seed)
     if _PERSISTENCE is not None:
         stored = _PERSISTENCE.load_dataset(payload)
@@ -226,9 +280,15 @@ def _build(
     return instance
 
 
-def _generate(
-    name: str, scale_divisor: int, degree_divisor: int, seed: int
-) -> DatasetInstance:
+def _dataset_config(
+    name: str,
+    scale_divisor: int,
+    degree_divisor: int,
+    seed: int,
+    *,
+    edge_count_fn=None,
+) -> tuple[DatasetSpec, FFTDGConfig]:
+    """Resolve a catalog row to its scaled, calibrated generator config."""
     spec = DATASETS[name]
     n = spec.scaled_vertices(scale_divisor)
     group_count = 1
@@ -239,7 +299,11 @@ def _generate(
     # vertex count.
     target_degree = max(4.0, spec.paper_mean_degree / degree_divisor)
     alpha = calibrate_alpha(
-        n, target_degree, group_count=group_count, seed=seed
+        n,
+        target_degree,
+        group_count=group_count,
+        seed=seed,
+        edge_count_fn=edge_count_fn,
     )
     config = FFTDGConfig(
         num_vertices=n,
@@ -247,9 +311,80 @@ def _generate(
         group_count=group_count,
         seed=seed,
     )
+    return spec, config
+
+
+def _generate(
+    name: str, scale_divisor: int, degree_divisor: int, seed: int
+) -> DatasetInstance:
+    spec, config = _dataset_config(name, scale_divisor, degree_divisor, seed)
     result = FFTDG(config).generate()
     return DatasetInstance(
         spec=spec, result=result, scale_divisor=scale_divisor, seed=seed
+    )
+
+
+def _resolve_csr_path(payload: tuple) -> str:
+    """Where the on-disk CSR file for ``payload`` lives.
+
+    Prefers the persistence layer's content-addressed
+    ``dataset_csr_path`` (shared across processes — this is what makes
+    zero-copy pool shipping work); falls back to a per-process scratch
+    directory keyed by the payload fields.
+    """
+    resolver = getattr(_PERSISTENCE, "dataset_csr_path", None)
+    if resolver is not None:
+        return os.fspath(resolver(payload))
+    global _FALLBACK_CSR_DIR
+    if _FALLBACK_CSR_DIR is None:
+        import tempfile
+
+        _FALLBACK_CSR_DIR = tempfile.mkdtemp(prefix="repro-csr-")
+    name, scale_divisor, degree_divisor, seed = payload
+    fname = f"{name}-sd{scale_divisor}-dd{degree_divisor}-s{seed}.csr"
+    return os.path.join(_FALLBACK_CSR_DIR, fname)
+
+
+def _build_mmap(
+    name: str, scale_divisor: int, degree_divisor: int, seed: int
+) -> DatasetInstance:
+    """Out-of-core build: generate to on-disk CSR, serve a memmap view.
+
+    Nothing on this path materializes the full edge set in RAM — alpha
+    calibration counts edges through the sharded pipeline
+    (:func:`~repro.datagen.shards.count_unique_edges`), generation
+    streams shards to disk, and the returned graph's arrays are
+    read-only ``numpy.memmap`` views of the CSR file.  The instance is
+    never pickled into the persistent store; the CSR file *is* the
+    persistent artifact.
+    """
+    from repro.core.mmapcsr import open_graph_csr
+
+    payload = (name, scale_divisor, degree_divisor, seed)
+    path = _resolve_csr_path(payload)
+    if not os.path.exists(path):
+        _, config = _dataset_config(
+            name,
+            scale_divisor,
+            degree_divisor,
+            seed,
+            edge_count_fn=count_unique_edges,
+        )
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        generate_fft_to_disk(config, path)
+    graph, header = open_graph_csr(path)
+    meta = header.get("meta", {})
+    result = GenerationResult(
+        graph=graph,
+        counter=TrialCounter(
+            trials=int(meta.get("trials", 0)),
+            edges=int(meta.get("sampled_edges", 0)),
+        ),
+        elapsed_seconds=float(meta.get("elapsed_seconds", 0.0)),
+        parameters=dict(meta.get("parameters", {})),
+    )
+    return DatasetInstance(
+        spec=DATASETS[name], result=result, scale_divisor=scale_divisor, seed=seed
     )
 
 

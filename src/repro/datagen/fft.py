@@ -199,32 +199,50 @@ class FFTDG:
     def _sample_edges(self) -> tuple[np.ndarray, np.ndarray, TrialCounter]:
         """Stage 3: failure-free edge sampling over homophily positions.
 
+        Accumulates the chunks of :meth:`sample_edge_chunks` in memory.
+        The sharded out-of-core path (:mod:`repro.datagen.shards`)
+        consumes the *same* chunk stream but flushes it to disk, so the
+        two paths are draw-for-draw identical by construction.
+        """
+        counter = TrialCounter()
+        src_chunks: list[np.ndarray] = []
+        dst_chunks: list[np.ndarray] = []
+        for src, dst in self.sample_edge_chunks(counter):
+            src_chunks.append(src)
+            dst_chunks.append(dst)
+        if not src_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, counter
+        return np.concatenate(src_chunks), np.concatenate(dst_chunks), counter
+
+    def sample_edge_chunks(self, counter: TrialCounter):
+        """Yield sampled edges as ``(src, dst)`` int64 chunk pairs.
+
         Sources are processed in chunks; each vectorized round draws one
         gap per still-walking source, emits the in-range edges, and
         drops the sources whose walk overran their group (round-major
         rather than the naive source-major order, so every
         ``_DrawBuffer`` batch feeds ~64k gap computations at once).
+        Trial/edge accounting accumulates into ``counter``.  Chunk
+        boundaries are an implementation detail; the concatenation of
+        the yielded chunks is the generated edge list.
         """
         cfg = self.config
         n = cfg.num_vertices
-        counter = TrialCounter()
-        empty = np.empty(0, dtype=np.int64)
         if n < 2:
-            return empty, empty, counter
+            return
 
         group_size = cfg.group_size
         target = cfg.target_edges if cfg.target_edges is not None else -1
-        src_chunks: list[np.ndarray] = []
-        dst_chunks: list[np.ndarray] = []
         emitted = 0
 
         if cfg.connect_path:
             # Adjacent edges guarantee global connectivity (Fig. 3).
             path = np.arange(n - 1, dtype=np.int64)
             if 0 <= target <= n - 1:
-                return path[:target], path[:target] + 1, counter
-            src_chunks.append(path)
-            dst_chunks.append(path + 1)
+                yield path[:target], path[:target] + 1
+                return
+            yield path, path + 1
             emitted = n - 1
 
         rng = np.random.default_rng(cfg.seed + 1)
@@ -266,8 +284,7 @@ class FFTDG:
                     done = True
                 counter.edges += take
                 if take:
-                    src_chunks.append(sources[ok][:take])
-                    dst_chunks.append(k[ok][:take])
+                    yield sources[ok][:take], k[ok][:take]
                     emitted += take
                 if done:
                     break
@@ -275,10 +292,6 @@ class FFTDG:
                 pos = k[ok]
                 group_end = group_end[ok]
                 c = c0 + (pos - sources)
-
-        if not src_chunks:
-            return empty, empty, counter
-        return np.concatenate(src_chunks), np.concatenate(dst_chunks), counter
 
 
 # The chunked-draw machinery lives with the other shared array kernels;
@@ -294,6 +307,7 @@ def calibrate_alpha(
     seed: int = 0,
     tolerance: float = 0.05,
     max_alpha: float = 1e6,
+    edge_count_fn=None,
 ) -> float:
     """Find the density factor that yields a target mean degree.
 
@@ -302,6 +316,13 @@ def calibrate_alpha(
     vertex count, a down-scaled reproduction must re-calibrate.  Mean
     degree is monotonically increasing in alpha, so a bisection on
     ``log(alpha)`` over trial generations converges quickly.
+
+    ``edge_count_fn(config) -> int`` replaces the in-memory trial
+    generation with another way of counting the unique edges of
+    ``FFTDG(config).generate()`` — the out-of-core catalog passes
+    :func:`repro.datagen.shards.count_unique_edges` so calibration stays
+    bounded-memory too.  Any hook that returns the exact in-memory count
+    yields a bit-identical bisection path and therefore the same alpha.
 
     Returns the smallest alpha whose generated mean degree is within
     ``tolerance`` (relative) of the target, or the boundary value if the
@@ -318,8 +339,11 @@ def calibrate_alpha(
             use_homophily_order=False,
             seed=seed,
         )
-        result = FFTDG(config).generate()
-        return 2.0 * result.graph.num_edges / max(1, num_vertices)
+        if edge_count_fn is not None:
+            edges = int(edge_count_fn(config))
+        else:
+            edges = FFTDG(config).generate().graph.num_edges
+        return 2.0 * edges / max(1, num_vertices)
 
     lo, hi = 1.0, 4.0
     if _mean_degree(lo) >= target_mean_degree:

@@ -1,0 +1,427 @@
+"""Out-of-core FFT-DG: bounded-memory sharded generation to on-disk CSR.
+
+The in-memory generator (:class:`repro.datagen.fft.FFTDG`) accumulates
+every sampled edge, then mirrors, dedups, and lexsorts the whole edge
+list at once — peak memory is several multiples of the final edge count,
+which caps the reachable scale long before the paper's S9/S10 datasets
+(1.4–12.6 B edges).  This module reaches past that cap with the classic
+external CSR build:
+
+1. **Sample to shards** — the *same* vectorized chunk stream the
+   in-memory path consumes (:meth:`FFTDG.sample_edge_chunks`, same RNG,
+   same draw order) is flushed to flat int64 shard files whenever the
+   buffer exceeds ``shard_edges``.  Only O(shard) edges are ever held.
+2. **Scatter to vertex-range buckets** — each shard is read back once,
+   mirrored (undirected storage stores both directions), and appended to
+   per-bucket files keyed by ``src // bucket_width``.  Bucket width is
+   chosen so one bucket's slots fit comfortably in memory.
+3. **Build buckets in order** — each bucket is loaded, deduplicated and
+   sorted via one ``np.unique`` over ``src * n + dst`` keys, and its
+   adjacency slots appended to a :class:`~repro.core.mmapcsr.CSRStreamWriter`.
+   Concatenating per-bucket sorted-unique runs in ascending bucket order
+   *is* the global CSR sort, so the resulting file is **byte-identical**
+   to ``Graph.from_edges(...)`` on the same sample — regardless of shard
+   size or bucket width (the shard-boundary determinism suite asserts
+   exactly this).
+
+Peak memory is O(n) for the vertex-indexed arrays (degrees, homophily
+properties) plus O(shard + bucket) scratch — never O(edges).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.mmapcsr import CSRStreamWriter
+from repro.datagen.base import (
+    TrialCounter,
+    generate_vertex_properties,
+    homophily_order,
+)
+from repro.datagen.fft import FFTDG, FFTDGConfig
+from repro.errors import GeneratorParameterError
+from repro.obs import GEN_EDGES, GEN_TRIALS, get_tracer
+
+__all__ = [
+    "DEFAULT_SHARD_EDGES",
+    "DEFAULT_BUCKET_SLOTS",
+    "OutOfCoreGeneration",
+    "generate_fft_to_disk",
+    "count_unique_edges",
+]
+
+#: Edges buffered in memory before a shard is flushed to disk.
+DEFAULT_SHARD_EDGES = 1 << 20
+
+#: Target adjacency slots loaded per bucket during the external build.
+DEFAULT_BUCKET_SLOTS = 1 << 22
+
+#: Upper bound on bucket-file count (limits directory churn and file
+#: handle traffic for very sparse graphs).
+_MAX_BUCKETS = 4096
+
+
+@dataclass(frozen=True)
+class OutOfCoreGeneration:
+    """Result of one sharded generation: provenance, not the graph.
+
+    The graph itself lives at ``path`` in the mmap-CSR format; open it
+    with :func:`repro.core.mmapcsr.open_graph_csr`.  ``counter`` carries
+    the same trial accounting the in-memory
+    :class:`~repro.datagen.base.GenerationResult` does.
+    """
+
+    path: Path
+    num_vertices: int
+    num_edges: int
+    slots: int
+    counter: TrialCounter
+    elapsed_seconds: float
+    parameters: dict
+    digest: str
+
+
+class _ShardSpool:
+    """Buffers sampled edge chunks and flushes them as flat int64 files.
+
+    Shard file layout: ``src[k] dst[k]`` as two back-to-back int64
+    arrays (the edge count is implied by the file size).
+    """
+
+    def __init__(self, directory: Path, shard_edges: int) -> None:
+        self.directory = directory
+        self.shard_edges = int(shard_edges)
+        self.paths: list[Path] = []
+        self.total_edges = 0
+        self._src: list[np.ndarray] = []
+        self._dst: list[np.ndarray] = []
+        self._buffered = 0
+
+    def append(self, src: np.ndarray, dst: np.ndarray) -> None:
+        self._src.append(src)
+        self._dst.append(dst)
+        self._buffered += src.shape[0]
+        self.total_edges += src.shape[0]
+        if self._buffered >= self.shard_edges:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the buffered chunks as one shard file."""
+        if not self._buffered:
+            return
+        src = np.concatenate(self._src)
+        dst = np.concatenate(self._dst)
+        path = self.directory / f"shard-{len(self.paths):05d}.edges"
+        with path.open("wb") as fh:
+            fh.write(np.ascontiguousarray(src, dtype=np.int64).tobytes())
+            fh.write(np.ascontiguousarray(dst, dtype=np.int64).tobytes())
+        self.paths.append(path)
+        self._src.clear()
+        self._dst.clear()
+        self._buffered = 0
+
+
+def _read_shard(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    data = np.fromfile(path, dtype=np.int64)
+    half = data.shape[0] // 2
+    return data[:half], data[half:]
+
+
+def _bucket_width(n: int, raw_edges: int, bucket_slots: int) -> int:
+    """Vertex range covered by one scatter bucket.
+
+    Sized so the *expected* mirrored slots per bucket stay under
+    ``bucket_slots`` (skew can exceed it — that costs memory, never
+    correctness), floored so the bucket count stays below
+    :data:`_MAX_BUCKETS`.
+    """
+    slots = max(1, 2 * raw_edges)
+    width = max(1, math.ceil(n * bucket_slots / slots))
+    width = max(width, math.ceil(n / _MAX_BUCKETS))
+    return min(max(1, width), max(1, n))
+
+
+def _scatter_to_buckets(
+    shard_paths: list[Path],
+    n: int,
+    width: int,
+    directory: Path,
+    *,
+    drop_self_loops: bool = True,
+) -> tuple[list[Path | None], int]:
+    """Pass A: mirror every shard edge into per-vertex-range bucket files.
+
+    Returns the bucket path list (``None`` for empty buckets) and the
+    number of self-loop records kept (each occupying a single slot, the
+    :class:`~repro.core.graph.Graph` storage invariant).
+    """
+    bucket_count = math.ceil(n / width) if n else 0
+    paths: list[Path | None] = [None] * bucket_count
+    loops_kept = 0
+    for shard in shard_paths:
+        src, dst = _read_shard(shard)
+        loop_mask = src == dst
+        if loop_mask.any():
+            if drop_self_loops:
+                src, dst = src[~loop_mask], dst[~loop_mask]
+            else:
+                loops_kept += int(loop_mask.sum())
+        if not src.size:
+            continue
+        if drop_self_loops or not loop_mask.any():
+            u = np.concatenate([src, dst])
+            v = np.concatenate([dst, src])
+        else:
+            # Mirror only the non-loop edges; loops stay single-slot.
+            non_loop = ~loop_mask
+            u = np.concatenate([src, dst[non_loop]])
+            v = np.concatenate([dst, src[non_loop]])
+        buckets = u // width
+        order = np.argsort(buckets, kind="stable")
+        u, v, buckets = u[order], v[order], buckets[order]
+        starts = np.flatnonzero(np.diff(buckets)) + 1
+        bounds = np.concatenate([[0], starts, [buckets.shape[0]]])
+        for i in range(bounds.shape[0] - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            b = int(buckets[lo])
+            path = paths[b]
+            if path is None:
+                path = directory / f"bucket-{b:05d}.edges"
+                paths[b] = path
+            # Interleaved (u, v) records: bucket files receive one
+            # append per shard, so the layout must concatenate cleanly.
+            records = np.empty((hi - lo, 2), dtype=np.int64)
+            records[:, 0] = u[lo:hi]
+            records[:, 1] = v[lo:hi]
+            with path.open("ab") as fh:
+                fh.write(records.tobytes())
+    return paths, loops_kept
+
+
+def _build_from_buckets(
+    bucket_paths: list[Path | None],
+    n: int,
+    writer: CSRStreamWriter | None,
+) -> tuple[int, int, np.ndarray]:
+    """Pass B: per bucket, sort + dedup and append adjacency slots.
+
+    Returns ``(slots, loop_slots, degrees)``.  With ``writer=None`` only
+    the counts are produced (the calibration edge-counter path).
+    """
+    degrees = np.zeros(n, dtype=np.int64)
+    slots = 0
+    loop_slots = 0
+    for path in bucket_paths:
+        if path is None:
+            continue
+        records = np.fromfile(path, dtype=np.int64).reshape(-1, 2)
+        if not records.size:
+            continue
+        u, v = records[:, 0], records[:, 1]
+        keys = np.unique(u * np.int64(n) + v)
+        u_sorted = keys // n
+        v_sorted = keys % n
+        loop_slots += int(np.count_nonzero(u_sorted == v_sorted))
+        lo = int(u_sorted[0])
+        hi = int(u_sorted[-1]) + 1
+        degrees[lo:hi] += np.bincount(u_sorted - lo, minlength=hi - lo)
+        slots += keys.shape[0]
+        if writer is not None:
+            writer.append_indices(v_sorted)
+        path.unlink()
+    return slots, loop_slots, degrees
+
+
+def _sample_to_shards(
+    config: FFTDGConfig,
+    spool: _ShardSpool,
+    counter: TrialCounter,
+    order: np.ndarray | None,
+) -> None:
+    """Run the chunk sampler, mapping ids through ``order`` when asked,
+    spooling everything to disk."""
+    generator = FFTDG(config)
+    for src, dst in generator.sample_edge_chunks(counter):
+        if order is not None:
+            src = order[src]
+            dst = order[dst]
+        spool.append(src, dst)
+    spool.flush()
+
+
+def _external_build(
+    config: FFTDGConfig,
+    writer_factory,
+    *,
+    shard_edges: int,
+    bucket_slots: int,
+    work_dir: str | os.PathLike[str] | None,
+) -> tuple[int, int, np.ndarray, TrialCounter, float, "np.ndarray | None"]:
+    """Shared sample → scatter → build pipeline.
+
+    ``writer_factory(n)`` returns a :class:`CSRStreamWriter` or ``None``
+    (count-only).  Returns ``(slots, loops, degrees, counter, elapsed,
+    writer)``.
+    """
+    if shard_edges < 1:
+        raise GeneratorParameterError(
+            f"shard_edges must be >= 1, got {shard_edges}"
+        )
+    if bucket_slots < 1:
+        raise GeneratorParameterError(
+            f"bucket_slots must be >= 1, got {bucket_slots}"
+        )
+    cfg = config
+    n = cfg.num_vertices
+    tracer = get_tracer()
+    counter = TrialCounter()
+    start = time.perf_counter()
+    with tracer.span("fftdg/generate-sharded", category="datagen",
+                     n=n, alpha=cfg.alpha, group_count=cfg.group_count,
+                     seed=cfg.seed, shard_edges=shard_edges):
+        order = None
+        if cfg.use_homophily_order:
+            with tracer.span("vertex-properties", category="datagen"):
+                properties = generate_vertex_properties(n, seed=cfg.seed)
+            with tracer.span("homophily-order", category="datagen"):
+                if cfg.relabel_to_original_ids:
+                    order = homophily_order(properties)
+                else:
+                    # stage 2 runs; ids = positions
+                    homophily_order(properties)
+
+        with tempfile.TemporaryDirectory(
+            prefix="repro-shards-", dir=work_dir
+        ) as scratch:
+            scratch_path = Path(scratch)
+            spool = _ShardSpool(scratch_path, shard_edges)
+            with tracer.span("sample-to-shards", category="datagen"):
+                _sample_to_shards(cfg, spool, counter, order)
+            if tracer.enabled:
+                tracer.add(GEN_EDGES, float(counter.edges))
+                tracer.add(GEN_TRIALS, float(counter.trials))
+
+            writer = writer_factory(n)
+            try:
+                with tracer.span("external-csr-build", category="datagen",
+                                 shards=len(spool.paths)):
+                    width = _bucket_width(
+                        n, spool.total_edges, bucket_slots
+                    )
+                    bucket_dir = scratch_path / "buckets"
+                    bucket_dir.mkdir()
+                    bucket_paths, _ = _scatter_to_buckets(
+                        spool.paths, n, width, bucket_dir
+                    )
+                    slots, loops, degrees = _build_from_buckets(
+                        bucket_paths, n, writer
+                    )
+            except BaseException:
+                if writer is not None:
+                    writer.abort()
+                raise
+    elapsed = time.perf_counter() - start
+    return slots, loops, degrees, counter, elapsed, writer
+
+
+def _num_edges(slots: int, loops: int) -> int:
+    """Logical undirected edge count from slot and loop-slot counts."""
+    return (slots - loops) // 2 + loops
+
+
+def generate_fft_to_disk(
+    config: FFTDGConfig,
+    path: str | os.PathLike[str],
+    *,
+    shard_edges: int = DEFAULT_SHARD_EDGES,
+    bucket_slots: int = DEFAULT_BUCKET_SLOTS,
+    work_dir: str | os.PathLike[str] | None = None,
+) -> OutOfCoreGeneration:
+    """Generate an FFT-DG graph straight to an on-disk mmap-CSR file.
+
+    The written file is byte-identical to what
+    ``write_graph_csr(FFTDG(config).generate().graph, path)`` would
+    produce, for every ``shard_edges`` / ``bucket_slots`` choice — but
+    peak memory stays O(n + shard + bucket) instead of O(edges).  The
+    write is atomic (temp + rename): concurrent generators racing on the
+    same path are wasteful, never corrupting.
+
+    ``work_dir`` hosts the transient shard/bucket scratch (defaults to
+    the system temp dir); it needs roughly ``32 * edges`` bytes of free
+    space while the build runs.
+    """
+    path = Path(path)
+
+    def factory(n: int) -> CSRStreamWriter:
+        return CSRStreamWriter(path, n, directed=False, weighted=False)
+
+    slots, loops, degrees, counter, elapsed, writer = _external_build(
+        config, factory, shard_edges=shard_edges,
+        bucket_slots=bucket_slots, work_dir=work_dir,
+    )
+    parameters = {
+        "generator": "FFT-DG",
+        "n": config.num_vertices,
+        "alpha": config.alpha,
+        "c0": config.c0,
+        "group_count": config.group_count,
+        "seed": config.seed,
+    }
+    num_edges = _num_edges(slots, loops)
+    indptr = np.zeros(config.num_vertices + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    try:
+        digest = writer.finalize(
+            indptr,
+            num_edges=num_edges,
+            meta={
+                "parameters": parameters,
+                "trials": counter.trials,
+                "sampled_edges": counter.edges,
+                "elapsed_seconds": elapsed,
+            },
+        )
+    except BaseException:
+        writer.abort()
+        raise
+    return OutOfCoreGeneration(
+        path=path,
+        num_vertices=config.num_vertices,
+        num_edges=num_edges,
+        slots=slots,
+        counter=counter,
+        elapsed_seconds=elapsed,
+        parameters=parameters,
+        digest=digest,
+    )
+
+
+def count_unique_edges(
+    config: FFTDGConfig,
+    *,
+    shard_edges: int = DEFAULT_SHARD_EDGES,
+    bucket_slots: int = DEFAULT_BUCKET_SLOTS,
+    work_dir: str | os.PathLike[str] | None = None,
+) -> int:
+    """Logical edge count of ``FFTDG(config).generate()`` in bounded
+    memory, without building any graph.
+
+    Runs the same sample → scatter → dedup pipeline but writes no CSR
+    file.  This is the calibration hook
+    (:func:`repro.datagen.fft.calibrate_alpha`'s ``edge_count_fn``) that
+    keeps alpha bisection out-of-core too — otherwise every bisection
+    step would materialize a full graph in memory and reintroduce the
+    exact peak the sharded path removes.
+    """
+    slots, loops, _, _, _, _ = _external_build(
+        config, lambda n: None, shard_edges=shard_edges,
+        bucket_slots=bucket_slots, work_dir=work_dir,
+    )
+    return _num_edges(slots, loops)

@@ -1,0 +1,224 @@
+"""The mmap dataset format: out-of-core builds, zero-copy shipping,
+and the format knob that selects it.
+
+The contract: ``--dataset-format mmap`` changes *where the bytes live*
+(an on-disk CSR file opened via ``numpy.memmap``), never what any case
+computes — outcomes are bit-identical to the in-memory format at any
+``--jobs`` value and any cache temperature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ArtifactStore,
+    CaseSpec,
+    clear_case_cache,
+    run_cases,
+    set_artifact_store,
+)
+from repro.datagen import (
+    build_dataset,
+    clear_dataset_cache,
+    get_dataset_format,
+    set_dataset_format,
+)
+from repro.errors import GeneratorParameterError
+
+KW = dict(scale_divisor=8000, degree_divisor=6, seed=7)
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    a = array
+    while a is not None:
+        if isinstance(a, np.memmap):
+            return True
+        a = a.base
+    return False
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ArtifactStore(tmp_path / "cache")
+    previous = set_artifact_store(store)
+    clear_case_cache()
+    clear_dataset_cache()
+    try:
+        yield store
+    finally:
+        set_artifact_store(previous)
+        clear_case_cache()
+        clear_dataset_cache()
+
+
+@pytest.fixture
+def mmap_format():
+    previous = set_dataset_format("mmap")
+    clear_dataset_cache()
+    try:
+        yield
+    finally:
+        set_dataset_format(previous)
+        clear_dataset_cache()
+
+
+class TestFormatKnob:
+    def test_default_is_memory(self):
+        assert get_dataset_format() == "memory"
+
+    def test_set_returns_previous(self):
+        assert set_dataset_format("mmap") == "memory"
+        assert get_dataset_format() == "mmap"
+        assert set_dataset_format("memory") == "mmap"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(GeneratorParameterError, match="unknown dataset"):
+            set_dataset_format("carrier-pigeon")
+        assert get_dataset_format() == "memory"
+
+
+class TestBuildParity:
+    def test_same_arrays_and_provenance(self, store, mmap_format):
+        mm = build_dataset("S8-Std", **KW)
+        set_dataset_format("memory")
+        clear_dataset_cache()
+        set_artifact_store(None)  # keep the memory build store-free
+        mem = build_dataset("S8-Std", **KW)
+        assert np.array_equal(mm.graph.indptr, mem.graph.indptr)
+        assert np.array_equal(mm.graph.indices, mem.graph.indices)
+        assert mm.graph.num_edges == mem.graph.num_edges
+        assert mm.result.counter.trials == mem.result.counter.trials
+        assert mm.result.counter.edges == mem.result.counter.edges
+
+    def test_mmap_graph_is_zero_copy_read_only(self, store, mmap_format):
+        graph = build_dataset("S8-Std", **KW).graph
+        assert _mmap_backed(graph.indptr)
+        assert _mmap_backed(graph.indices)
+        assert not graph.indices.flags.writeable
+
+    def test_csr_file_reused_not_regenerated(self, store, mmap_format):
+        build_dataset("S8-Std", **KW)
+        csr_files = list(store.root.rglob("*.csr"))
+        assert len(csr_files) == 1
+        mtime = csr_files[0].stat().st_mtime_ns
+        clear_dataset_cache()
+        build_dataset("S8-Std", **KW)
+        assert csr_files[0].stat().st_mtime_ns == mtime
+
+    def test_mmap_mode_never_pickles_datasets(self, store, mmap_format):
+        build_dataset("S8-Std", **KW)
+        assert list(store.root.rglob("*.pkl")) == []
+
+    def test_fallback_scratch_without_store(self, mmap_format):
+        # No persistence layer installed: mmap mode still works through
+        # the per-process scratch directory.
+        set_artifact_store(None)
+        clear_dataset_cache()
+        mm = build_dataset("S8-Std", **KW)
+        assert _mmap_backed(mm.graph.indices)
+
+    def test_format_is_part_of_cache_key(self, store, mmap_format):
+        mm = build_dataset("S8-Std", **KW)
+        set_dataset_format("memory")
+        mem = build_dataset("S8-Std", **KW)
+        assert mm is not mem
+        assert not _mmap_backed(mem.graph.indices)
+
+
+class TestCsrPathScheme:
+    def test_layout_under_dataset_csr_kind(self, store):
+        payload = ("S8-Std", 8000, 6, 7)
+        path = store.dataset_csr_path(payload)
+        assert path.suffix == ".csr"
+        assert path.parent.parent.name == "dataset-csr"
+        assert path.parent.name == path.stem[:2]
+
+    def test_stable_and_payload_addressed(self, store):
+        a = store.dataset_csr_path(("S8-Std", 8000, 6, 7))
+        b = store.dataset_csr_path(("S8-Std", 8000, 6, 7))
+        c = store.dataset_csr_path(("S8-Std", 8000, 6, 8))
+        assert a == b
+        assert a != c
+
+
+class TestCaseParity:
+    SPECS = [
+        CaseSpec.make(p, a, "S8-Std", scale_divisor=8000)
+        for p in ("Flash", "Grape")
+        for a in ("pr", "wcc")
+    ]
+
+    @staticmethod
+    def _identical(a, b) -> bool:
+        if (a.platform, a.algorithm, a.dataset, a.status, a.red_bar) != (
+                b.platform, b.algorithm, b.dataset, b.status, b.red_bar):
+            return False
+        if (a.result is None) != (b.result is None):
+            return False
+        if a.result is None:
+            return True
+        return (
+            np.array_equal(np.asarray(a.result.values),
+                           np.asarray(b.result.values))
+            and a.result.metrics == b.result.metrics
+        )
+
+    def test_sequential_mmap_matches_memory(self, store, mmap_format):
+        mm = run_cases(self.SPECS, jobs=1)
+        set_dataset_format("memory")
+        clear_case_cache()
+        clear_dataset_cache()
+        set_artifact_store(None)
+        mem = run_cases(self.SPECS, jobs=1)
+        assert all(self._identical(x, y) for x, y in zip(mm, mem))
+
+    def test_pooled_mmap_matches_sequential_memory(self, store, mmap_format):
+        pooled = run_cases(self.SPECS, jobs=2)
+        set_dataset_format("memory")
+        clear_case_cache()
+        clear_dataset_cache()
+        set_artifact_store(None)
+        mem = run_cases(self.SPECS, jobs=1)
+        assert all(self._identical(x, y) for x, y in zip(pooled, mem))
+
+
+class TestCorruptEntryWarning:
+    def test_corrupt_entry_warns_and_misses(self, store, capsys):
+        store.put("dataset", ("x",), {"ok": True})
+        entry = next(store.root.rglob("*.pkl"))
+        entry.write_bytes(b"\x80\x04 definitely not a pickle")
+        assert store.get("dataset", ("x",)) is None
+        err = capsys.readouterr().err
+        assert "corrupt store entry" in err
+        assert str(entry) in err
+        assert "kind=dataset" in err
+        assert store.misses == 1
+
+    def test_plain_miss_stays_silent(self, store, capsys):
+        assert store.get("dataset", ("never-stored",)) is None
+        assert capsys.readouterr().err == ""
+
+    def test_corrupt_entry_overwritten_by_next_put(self, store, capsys):
+        store.put("case", ("y",), [1, 2])
+        entry = next(store.root.rglob("*.pkl"))
+        entry.write_bytes(b"torn")
+        assert store.get("case", ("y",)) is None
+        store.put("case", ("y",), [1, 2])
+        assert store.get("case", ("y",)) == [1, 2]
+        capsys.readouterr()
+
+
+class TestCliKnob:
+    def test_dataset_format_flag_accepted(self, capsys, tmp_path, monkeypatch):
+        from repro.bench.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
+        assert main(["table2", "--dataset-format", "mmap"]) == 0
+        # Teardown restores the process default.
+        assert get_dataset_format() == "memory"
+
+    def test_bad_format_rejected(self):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--dataset-format", "floppy"])

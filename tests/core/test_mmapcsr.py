@@ -1,0 +1,184 @@
+"""Unit tests for the on-disk mmap-CSR container.
+
+Covers the roundtrip contract (write → open → identical arrays,
+zero-copy memmap backing, read-only views), digest determinism, the
+streaming writer's invariants, and the reader's rejection of corrupt,
+truncated, or wrong-version files.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import Graph, random_graph
+from repro.core.mmapcsr import (
+    CSR_MAGIC,
+    HEADER_BYTES,
+    CSRStreamWriter,
+    open_graph_csr,
+    read_csr_header,
+    write_graph_csr,
+)
+from repro.errors import GraphFormatError
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    a = array
+    while a is not None:
+        if isinstance(a, np.memmap):
+            return True
+        a = a.base
+    return False
+
+
+@pytest.fixture
+def graph():
+    return random_graph(200, 800, seed=11)
+
+
+class TestRoundtrip:
+    def test_arrays_identical(self, graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path)
+        loaded, header = open_graph_csr(path)
+        assert np.array_equal(loaded.indptr, graph.indptr)
+        assert np.array_equal(loaded.indices, graph.indices)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert loaded.directed == graph.directed
+        assert header["format"] == CSR_MAGIC
+        assert header["slots"] == graph.indices.shape[0]
+
+    def test_weighted_roundtrip(self, tmp_path):
+        g = Graph.from_edges(
+            [0, 1, 2], [1, 2, 3], weights=[0.5, 1.5, 2.5], num_vertices=4
+        )
+        path = tmp_path / "w.csr"
+        write_graph_csr(g, path)
+        loaded, header = open_graph_csr(path, verify_digest=True)
+        assert header["has_weights"] is True
+        assert np.array_equal(loaded.weights, g.weights)
+
+    def test_arrays_are_memmap_backed_and_read_only(self, graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path)
+        loaded, _ = open_graph_csr(path)
+        assert _mmap_backed(loaded.indptr)
+        assert _mmap_backed(loaded.indices)
+        assert not loaded.indices.flags.writeable
+        with pytest.raises(ValueError):
+            loaded.indices[0] = 99
+
+    def test_meta_preserved(self, graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path, meta={"seed": 11, "generator": "test"})
+        _, header = open_graph_csr(path)
+        assert header["meta"] == {"seed": 11, "generator": "test"}
+
+    def test_algorithms_run_on_memmap_graph(self, graph, tmp_path):
+        # The point of validate=False loading: a read-only memmap graph
+        # must be a drop-in for the in-memory one.
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path)
+        loaded, _ = open_graph_csr(path)
+        for v in (0, 5, 199):
+            assert np.array_equal(loaded.neighbors(v), graph.neighbors(v))
+        assert loaded.degree(0) == graph.degree(0)
+
+
+class TestDigest:
+    def test_digest_deterministic(self, graph, tmp_path):
+        d1 = write_graph_csr(graph, tmp_path / "a.csr")
+        d2 = write_graph_csr(graph, tmp_path / "b.csr")
+        assert d1 == d2
+        assert (tmp_path / "a.csr").read_bytes() == \
+            (tmp_path / "b.csr").read_bytes()
+
+    def test_digest_reflects_content(self, tmp_path):
+        g1 = random_graph(100, 300, seed=1)
+        g2 = random_graph(100, 300, seed=2)
+        assert write_graph_csr(g1, tmp_path / "a.csr") != \
+            write_graph_csr(g2, tmp_path / "b.csr")
+
+    def test_verify_digest_catches_flipped_bytes(self, graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path)
+        open_graph_csr(path, verify_digest=True)  # clean file passes
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip a byte in the last indices slot
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GraphFormatError, match="digest mismatch"):
+            open_graph_csr(path, verify_digest=True)
+
+
+class TestStreamWriter:
+    def test_chunked_append_equals_single_shot(self, graph, tmp_path):
+        whole = tmp_path / "whole.csr"
+        chunked = tmp_path / "chunked.csr"
+        write_graph_csr(graph, whole)
+        writer = CSRStreamWriter(chunked, graph.num_vertices)
+        for start in range(0, graph.indices.shape[0], 37):
+            writer.append_indices(graph.indices[start:start + 37])
+        writer.finalize(graph.indptr, num_edges=graph.num_edges)
+        assert whole.read_bytes() == chunked.read_bytes()
+
+    def test_indptr_mismatch_rejected(self, tmp_path):
+        writer = CSRStreamWriter(tmp_path / "g.csr", 4)
+        writer.append_indices(np.array([1, 2, 3], dtype=np.int64))
+        with pytest.raises(GraphFormatError, match="does not match"):
+            writer.finalize(
+                np.array([0, 1, 2, 3, 5], dtype=np.int64), num_edges=3
+            )
+        writer.abort()
+
+    def test_abort_leaves_no_file(self, tmp_path):
+        path = tmp_path / "g.csr"
+        writer = CSRStreamWriter(path, 4)
+        writer.append_indices(np.array([1], dtype=np.int64))
+        writer.abort()
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_atomic_write_no_temp_left_behind(self, graph, tmp_path):
+        write_graph_csr(graph, tmp_path / "g.csr")
+        assert [p.name for p in tmp_path.iterdir()] == ["g.csr"]
+
+    def test_finalize_twice_rejected(self, tmp_path):
+        writer = CSRStreamWriter(tmp_path / "g.csr", 1)
+        writer.finalize(np.array([0, 0], dtype=np.int64), num_edges=0)
+        with pytest.raises(GraphFormatError, match="already finalized"):
+            writer.finalize(np.array([0, 0], dtype=np.int64), num_edges=0)
+
+
+class TestReaderRejections:
+    def test_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.csr"
+        path.write_bytes(b"not-a-csr-file\n" + b" " * HEADER_BYTES)
+        with pytest.raises(GraphFormatError, match="unrecognized CSR magic"):
+            read_csr_header(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.csr"
+        path.write_bytes(CSR_MAGIC.encode() + b"\n{}")
+        with pytest.raises(GraphFormatError, match="truncated CSR header"):
+            read_csr_header(path)
+
+    def test_truncated_body(self, graph, tmp_path):
+        path = tmp_path / "g.csr"
+        write_graph_csr(graph, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            read_csr_header(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "g.csr"
+        body = CSR_MAGIC + "\n" + '{"num_vertices": 1}' + "\n"
+        path.write_bytes(body.encode().ljust(HEADER_BYTES, b" "))
+        with pytest.raises(GraphFormatError, match="missing field"):
+            read_csr_header(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="cannot read"):
+            read_csr_header(tmp_path / "absent.csr")

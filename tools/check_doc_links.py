@@ -24,6 +24,17 @@ from urllib.parse import urlparse
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Pages that must exist (beyond whatever ``docs/*.md`` happens to glob):
+#: the checker fails loudly if one goes missing instead of silently
+#: checking fewer files.
+REQUIRED_PAGES = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/benchmarking.md",
+    "docs/data-generators.md",
+    "docs/scaling.md",
+)
+
 #: Inline links/images: [text](target) — target ends at the first
 #: unescaped closing paren; titles ("...") after the URL are dropped.
 INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
@@ -75,6 +86,10 @@ def check_file(path: Path) -> list[str]:
 def main() -> int:
     files = [REPO_ROOT / "README.md"]
     files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [
+        p for page in REQUIRED_PAGES
+        if (p := REPO_ROOT / page) not in files
+    ]
     missing = [f for f in files if not f.exists()]
     if missing:
         for f in missing:

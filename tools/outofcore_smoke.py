@@ -1,0 +1,100 @@
+"""CI smoke: the out-of-core dataset path, end to end, in seconds.
+
+Exercises the whole ``--dataset-format mmap`` chain at tiny scale:
+
+1. sharded FFT-DG generation straight to an on-disk CSR file, with a
+   deliberately small shard size so multiple shards actually happen;
+2. zero-copy reopening via ``numpy.memmap`` (asserted: the served
+   arrays are mmap-backed and read-only, and byte-identical to the
+   in-memory generator's);
+3. one PR case through ``run_case`` in mmap mode, parity-asserted
+   against the same case in memory mode.
+
+Exit status is non-zero on any divergence, so CI catches a broken shard
+pipeline (wrong bytes), broken shipping (silent copies), and broken
+parity (outcomes depending on the container format).
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import CaseSpec, clear_case_cache  # noqa: E402
+from repro.bench.store import ArtifactStore, set_artifact_store  # noqa: E402
+from repro.core.mmapcsr import open_graph_csr  # noqa: E402
+from repro.datagen import (  # noqa: E402
+    FFTDG,
+    FFTDGConfig,
+    build_dataset,
+    clear_dataset_cache,
+    generate_fft_to_disk,
+    set_dataset_format,
+)
+
+KW = dict(scale_divisor=8000, degree_divisor=6, seed=7)
+
+
+def _mmap_backed(array: np.ndarray) -> bool:
+    a = array
+    while a is not None:
+        if isinstance(a, np.memmap):
+            return True
+        a = a.base
+    return False
+
+
+def main() -> None:
+    # 1. Tiny sharded generation: small shards force the multi-shard
+    # code path; the result must match the in-memory generator exactly.
+    config = FFTDGConfig(num_vertices=1200, alpha=6.0, seed=5)
+    mem = FFTDG(config).generate()
+    with tempfile.TemporaryDirectory(prefix="repro-ooc-smoke-") as root:
+        csr = Path(root) / "smoke.csr"
+        gen = generate_fft_to_disk(config, csr, shard_edges=500)
+        graph, _ = open_graph_csr(csr, verify_digest=True)
+        assert np.array_equal(graph.indptr, mem.graph.indptr), \
+            "sharded indptr diverges from in-memory generation"
+        assert np.array_equal(graph.indices, mem.graph.indices), \
+            "sharded indices diverge from in-memory generation"
+        assert gen.counter.trials == mem.counter.trials, \
+            "sharded path consumed a different RNG stream"
+
+        # 2. The catalog's mmap format serves zero-copy views.
+        set_artifact_store(ArtifactStore(Path(root) / "store"))
+        set_dataset_format("mmap")
+        clear_dataset_cache()
+        clear_case_cache()
+        try:
+            ds = build_dataset("S8-Std", **KW)
+            assert _mmap_backed(ds.graph.indices), \
+                "mmap-format dataset is not memmap-backed"
+            assert not ds.graph.indices.flags.writeable, \
+                "mmap-format dataset arrays must be read-only"
+
+            # 3. One PR case, parity-asserted against memory mode.
+            spec = CaseSpec.make("Flash", "pr", "S8-Std",
+                                 scale_divisor=KW["scale_divisor"])
+            mmap_outcome = spec.run()
+        finally:
+            set_dataset_format("memory")
+            set_artifact_store(None)
+            clear_dataset_cache()
+            clear_case_cache()
+        memory_outcome = spec.run()
+        assert mmap_outcome.status == memory_outcome.status == "ok"
+        assert np.array_equal(
+            np.asarray(mmap_outcome.result.values),
+            np.asarray(memory_outcome.result.values),
+        ), "PR output depends on the dataset container format"
+        assert mmap_outcome.result.metrics == memory_outcome.result.metrics
+    print("out-of-core smoke ok: sharded CSR byte-identical, "
+          "zero-copy mmap serving, case parity")
+
+
+if __name__ == "__main__":
+    main()
