@@ -454,6 +454,17 @@ def main(argv: list[str] | None = None) -> int:
              "any N",
     )
     parser.add_argument(
+        "--intra-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split each case's bulk supersteps over N shard worker "
+             "processes sharing the graph zero-copy (default "
+             "$REPRO_INTRA_JOBS or 1; clamped so jobs x intra-jobs "
+             "stays within $REPRO_SLOT_BUDGET); outcomes are "
+             "bit-identical at any N",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="PATH",
         default=os.environ.get("REPRO_CACHE_DIR"),
@@ -525,6 +536,14 @@ def _configure_harness(args):
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     pool.set_default_jobs(args.jobs)
+    if args.intra_jobs is not None:
+        from repro.platforms.parallel.config import set_default_intra_jobs
+
+        if args.intra_jobs < 1:
+            raise SystemExit(
+                f"--intra-jobs must be >= 1, got {args.intra_jobs}"
+            )
+        set_default_intra_jobs(args.intra_jobs)
     if args.dataset_cache_size is not None:
         set_dataset_cache_size(args.dataset_cache_size)
     set_dataset_format(args.dataset_format)
@@ -565,6 +584,11 @@ def _teardown_harness(store) -> None:
         store_mod.set_artifact_store(None)
     pool.set_default_jobs(1)
     set_dataset_format("memory")
+    from repro.platforms.parallel import shard
+    from repro.platforms.parallel.config import set_default_intra_jobs
+
+    set_default_intra_jobs(1)
+    shard.shutdown_shard_pools()
 
 
 def _dispatch(args) -> int:

@@ -34,6 +34,11 @@ from repro.bench.runner import CaseOutcome, CaseSpec, memoize_outcome
 from repro.bench.store import ArtifactStore, get_artifact_store, set_artifact_store
 from repro.errors import ClusterConfigError
 from repro.obs import POOL_TASKS, get_tracer, tracing
+from repro.platforms.parallel.config import (
+    in_shard_worker,
+    in_worker_process,
+    mark_worker_process,
+)
 
 __all__ = [
     "run_cases",
@@ -87,6 +92,7 @@ def _worker_init(
     store_root: str | None,
     cache_size: int | None,
     dataset_format: str = "memory",
+    pool_width: int = 1,
 ) -> None:
     """Initializer run once per worker process.
 
@@ -98,7 +104,13 @@ def _worker_init(
     resolves datasets through the shared store's ``dataset_csr_path``
     and opens the one on-disk CSR file read-only, instead of unpickling
     a private in-RAM copy.
+
+    The worker is also marked with its pool's width: nested
+    :func:`run_cases` calls then refuse to open a second pool, and the
+    engines' intra-case sharding clamps itself to this worker's share of
+    the global slot budget.
     """
+    mark_worker_process(pool_width)
     if store_root is not None:
         set_artifact_store(ArtifactStore(store_root))
     if cache_size is not None:
@@ -210,6 +222,13 @@ def run_cases(
     jobs = _DEFAULT_JOBS if jobs is None else jobs
     if jobs < 1:
         raise ClusterConfigError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and (in_worker_process() or in_shard_worker()):
+        # Fork-bomb guard: a pool worker (or an intra-case shard
+        # worker) asked for another pool.  Nested pools would multiply
+        # processes without bound, so degrade to in-process sequential
+        # execution — outcome-identical by the pool determinism
+        # contract.
+        jobs = 1
     if jobs == 1 or len(specs) <= 1:
         return [spec.run() for spec in specs]
 
@@ -230,10 +249,11 @@ def run_cases(
     outcomes: dict[CaseSpec, CaseOutcome] = {}
     with tracer.span("pool", category="pool", jobs=jobs,
                      cases=len(unique)):
+        width = min(jobs, len(unique))
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(unique)),
+            max_workers=width,
             initializer=_worker_init,
-            initargs=(store_root, cache_size, dataset_format),
+            initargs=(store_root, cache_size, dataset_format, width),
         ) as executor:
             futures = []
             for spec in unique:

@@ -102,6 +102,10 @@ class Graph:
         "_rev_indices",
         "_rev_weights",
         "_sorted_adjacency",
+        # Weak references let per-graph derived-data caches (the kernel
+        # cache in repro.platforms.kernels) evict entries when a graph is
+        # garbage-collected instead of keying on identity forever.
+        "__weakref__",
     )
 
     def __init__(

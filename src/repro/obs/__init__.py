@@ -31,9 +31,12 @@ from repro.obs.counters import (
     DATASET_CACHE_MISSES,
     GEN_EDGES,
     GEN_TRIALS,
+    KERNEL_CACHE_HITS,
+    KERNEL_CACHE_MISSES,
     MSG_BYTES,
     MSG_COUNT,
     POOL_TASKS,
+    SHARD_TASKS,
     STORE_HITS,
     STORE_MISSES,
     STORE_PUTS,
@@ -90,6 +93,9 @@ __all__ = [
     "STORE_MISSES",
     "STORE_PUTS",
     "POOL_TASKS",
+    "SHARD_TASKS",
+    "KERNEL_CACHE_HITS",
+    "KERNEL_CACHE_MISSES",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",

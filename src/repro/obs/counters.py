@@ -43,6 +43,9 @@ __all__ = [
     "STORE_MISSES",
     "STORE_PUTS",
     "POOL_TASKS",
+    "SHARD_TASKS",
+    "KERNEL_CACHE_HITS",
+    "KERNEL_CACHE_MISSES",
     "CounterRegistry",
     "note_superstep",
 ]
@@ -96,6 +99,14 @@ STORE_PUTS = "store_puts"
 #: Benchmark cases dispatched to pool worker processes
 #: (``repro.bench.pool.run_cases``).
 POOL_TASKS = "pool_tasks"
+#: Superstep slices dispatched to intra-case shard workers
+#: (``repro.platforms.parallel.shard``).
+SHARD_TASKS = "shard_tasks"
+#: Derived-kernel lookups served from the per-graph cache
+#: (``repro.platforms.kernels.cached_kernel``).
+KERNEL_CACHE_HITS = "kernel_cache_hits"
+#: Derived-kernel lookups that had to rebuild the artifact.
+KERNEL_CACHE_MISSES = "kernel_cache_misses"
 
 #: The unified counter vocabulary: name -> one-line definition naming the
 #: subsystem that previously owned the quantity.
@@ -164,6 +175,18 @@ VOCABULARY: dict[str, str] = {
     POOL_TASKS: (
         "Benchmark cases dispatched to pool worker processes "
         "(repro.bench.pool.run_cases)."
+    ),
+    SHARD_TASKS: (
+        "Superstep slices dispatched to intra-case shard workers "
+        "(repro.platforms.parallel.shard)."
+    ),
+    KERNEL_CACHE_HITS: (
+        "Derived-kernel lookups served from the per-graph cache "
+        "(repro.platforms.kernels.cached_kernel)."
+    ),
+    KERNEL_CACHE_MISSES: (
+        "Derived-kernel lookups that rebuilt the artifact on a cache "
+        "miss."
     ),
 }
 

@@ -71,20 +71,26 @@ class EngineOptions:
     checkpoint_interval:
         Supersteps between checkpoint images when the schedule is
         non-empty (ignored otherwise).
+    intra_jobs:
+        Requested shard-worker processes for intra-case partition
+        parallelism on the bulk paths (clamped at run time by the
+        shared slot budget; 1 disables sharding).
     """
 
     mode: EngineMode = EngineMode.AUTO
     fault_schedule: FaultSchedule = EMPTY_SCHEDULE
     checkpoint_interval: int = 8
+    intra_jobs: int = 1
 
 
 def parse_engine_options(params: dict) -> EngineOptions:
     """Pop and validate the shared engine knobs out of ``params``.
 
     Mutates ``params`` (the platform's remaining keyword arguments) by
-    removing ``engine_mode``, ``fault_schedule``, and
-    ``checkpoint_interval``; everything else is left for the algorithm
-    implementations.  Raises :class:`~repro.errors.PlatformError` for an
+    removing ``engine_mode``, ``fault_schedule``,
+    ``checkpoint_interval``, and ``intra_jobs`` (whose default comes
+    from the process-global parallel config, not the case params);
+    everything else is left for the algorithm implementations.  Raises :class:`~repro.errors.PlatformError` for an
     unknown mode, a schedule of the wrong type, or a non-positive
     checkpoint interval.
     """
@@ -112,8 +118,28 @@ def parse_engine_options(params: dict) -> EngineOptions:
         raise PlatformError(
             f"checkpoint_interval must be an int >= 1, got {interval!r}"
         )
+    intra_jobs = params.pop("intra_jobs", None)
+    if intra_jobs is None:
+        # Deliberately sourced from process-global config (CLI flag /
+        # REPRO_INTRA_JOBS), not from case params: the knob must never
+        # enter CaseSpec fingerprints — a sharded run is bit-identical
+        # to a single-process one, so cached artifacts stay shared.
+        from repro.platforms.parallel.config import get_default_intra_jobs
+
+        intra_jobs = get_default_intra_jobs()
+    if (
+        not isinstance(intra_jobs, int)
+        or isinstance(intra_jobs, bool)
+        or intra_jobs < 1
+    ):
+        raise PlatformError(
+            f"intra_jobs must be an int >= 1, got {intra_jobs!r}"
+        )
     return EngineOptions(
-        mode=mode, fault_schedule=schedule, checkpoint_interval=interval
+        mode=mode,
+        fault_schedule=schedule,
+        checkpoint_interval=interval,
+        intra_jobs=intra_jobs,
     )
 
 

@@ -66,6 +66,7 @@ class PageRankGAS(BulkGASProgram):
     damped update; 10 fixed rounds driven by the master hook."""
 
     gather_mode = "sum"
+    shard_safe = True
 
     def __init__(self, *, damping: float = 0.85, iterations: int = 10) -> None:
         self.damping = damping
@@ -140,6 +141,7 @@ class LabelPropagationGAS(BulkGASProgram):
 
     message_bytes = 24.0  # partial label histograms
     gather_mode = "majority"
+    shard_safe = True
 
     def __init__(self, *, iterations: int = 10) -> None:
         self.iterations = iterations
@@ -209,6 +211,7 @@ class SSSPGAS(BulkGASProgram):
     bit-identical WorkTraces)."""
 
     gather_mode = "min"
+    shard_safe = True
 
     def __init__(self, source: int = 0) -> None:
         self.source = source
@@ -265,6 +268,7 @@ class WCCGAS(BulkGASProgram):
     """
 
     gather_mode = "min"
+    shard_safe = True
 
     def __init__(self) -> None:
         self.labels: np.ndarray | None = None

@@ -22,6 +22,9 @@ Design invariants the bulk paths rely on:
 
 from __future__ import annotations
 
+import weakref
+from typing import Callable
+
 import numpy as np
 
 from repro.core.graph import Graph
@@ -39,9 +42,83 @@ __all__ = [
     "aggregate_pull_pairs",
     "clique_expansion_census",
     "ChunkedDrawBuffer",
+    "cached_kernel",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+# ----------------------------------------------------------------------
+# Per-graph derived-kernel cache
+# ----------------------------------------------------------------------
+
+#: ``id(graph) -> {key: artifact}``.  Keyed by identity (graphs hash by
+#: identity already) so lookups never touch the arrays; a
+#: ``weakref.finalize`` registered on first insert pops the whole
+#: per-graph dict when the graph is collected, which also makes id reuse
+#: safe — a dead graph's entry is gone before its id can be recycled.
+_KERNEL_CACHE: dict[int, dict[object, object]] = {}
+_KERNEL_CACHE_HITS = 0
+_KERNEL_CACHE_MISSES = 0
+
+
+def cached_kernel(graph: Graph, key: object, builder: Callable[[], object]):
+    """Return ``builder()`` memoized per ``(graph identity, key)``.
+
+    Derived artifacts — forward CSR views, adjacency lists, edge
+    placements — are pure functions of the graph, but historically every
+    case leg recomputed them.  This cache computes each once per graph
+    per process.  Eviction is GC-driven: entries die with the graph, so
+    a long-lived worker process mapping many datasets cannot grow the
+    cache beyond its live graphs.
+
+    Hits and misses are tallied both process-locally (see
+    :func:`kernel_cache_stats`) and, when a tracer is active, on the
+    ``kernel_cache_hits`` / ``kernel_cache_misses`` counters.
+    """
+    global _KERNEL_CACHE_HITS, _KERNEL_CACHE_MISSES
+    gid = id(graph)
+    per_graph = _KERNEL_CACHE.get(gid)
+    if per_graph is not None and key in per_graph:
+        _KERNEL_CACHE_HITS += 1
+        _note_cache_event(hit=True)
+        return per_graph[key]
+    _KERNEL_CACHE_MISSES += 1
+    _note_cache_event(hit=False)
+    artifact = builder()
+    if per_graph is None:
+        per_graph = {}
+        _KERNEL_CACHE[gid] = per_graph
+        weakref.finalize(graph, _KERNEL_CACHE.pop, gid, None)
+    per_graph[key] = artifact
+    return artifact
+
+
+def _note_cache_event(*, hit: bool) -> None:
+    """Feed one cache event to the active tracer (no-op when untraced)."""
+    from repro.obs import KERNEL_CACHE_HITS, KERNEL_CACHE_MISSES, get_tracer
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add(KERNEL_CACHE_HITS if hit else KERNEL_CACHE_MISSES, 1.0)
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    """Process-local cache tallies: hits, misses, live cached graphs."""
+    return {
+        "hits": _KERNEL_CACHE_HITS,
+        "misses": _KERNEL_CACHE_MISSES,
+        "graphs": len(_KERNEL_CACHE),
+    }
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached artifact and zero the tallies (test hook)."""
+    global _KERNEL_CACHE_HITS, _KERNEL_CACHE_MISSES
+    _KERNEL_CACHE.clear()
+    _KERNEL_CACHE_HITS = 0
+    _KERNEL_CACHE_MISSES = 0
 
 
 def expand_segments(
@@ -123,8 +200,15 @@ def forward_adjacency(graph: Graph) -> list[np.ndarray]:
 
     Self-loops never appear (a vertex's position is not greater than
     itself), so triangle/clique passes built on this view are immune to
-    them by construction.
+    them by construction.  Memoized per graph via :func:`cached_kernel`;
+    callers must treat the returned list as read-only.
     """
+    return cached_kernel(
+        graph, "forward_adjacency", lambda: _forward_adjacency(graph)
+    )
+
+
+def _forward_adjacency(graph: Graph) -> list[np.ndarray]:
     und = graph.to_undirected()
     position = vertex_order_positions(und)
     forward = []
@@ -144,7 +228,17 @@ def forward_edge_arrays(graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarra
     ``dst`` within each segment is ascending, matching the per-vertex
     ``np.sort`` of the list-of-arrays form, so bulk paths built on this
     view meter identically to scalar loops over ``forward_adjacency``.
+    Memoized per graph via :func:`cached_kernel`; callers must treat the
+    returned arrays as read-only.
     """
+    return cached_kernel(
+        graph, "forward_edge_arrays", lambda: _forward_edge_arrays(graph)
+    )
+
+
+def _forward_edge_arrays(
+    graph: Graph,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     und = graph.to_undirected()
     n = und.num_vertices
     position = vertex_order_positions(und)

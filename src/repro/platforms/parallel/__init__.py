@@ -1,0 +1,52 @@
+"""repro.platforms.parallel — intra-case partition-parallel supersteps.
+
+Splits one case's bulk supersteps across a persistent pool of shard
+worker processes sharing the graph's mmap CSR zero-copy, with merges
+engineered to stay bit-identical to the single-process bulk path (the
+parity suite enforces it).  Pieces:
+
+* :mod:`~repro.platforms.parallel.config` — process-role markers and
+  the shared ``jobs x intra_jobs`` slot budget;
+* :mod:`~repro.platforms.parallel.plan` — deterministic contiguous
+  slot-balanced partition plans over CSR ``indptr``;
+* :mod:`~repro.platforms.parallel.shard` — the shard-worker pool and
+  shared-memory arenas (imported lazily: it pulls in multiprocessing
+  and the engine layer);
+* :mod:`~repro.platforms.parallel.vertex` /
+  :mod:`~repro.platforms.parallel.edge` — the parent-side sharded
+  superstep loops, entered by the engines when a program is
+  ``shard_safe`` and ``intra_jobs > 1`` (also lazy).
+
+Only ``config`` and ``plan`` are imported eagerly, so
+``repro.bench.pool`` can read the budget without dragging in the
+engines.  See ``docs/scaling.md``.
+"""
+
+from repro.platforms.parallel.config import (
+    effective_intra_jobs,
+    get_default_intra_jobs,
+    get_slot_budget,
+    in_shard_worker,
+    in_worker_process,
+    mark_shard_worker,
+    mark_worker_process,
+    set_default_intra_jobs,
+    set_slot_budget,
+    worker_pool_width,
+)
+from repro.platforms.parallel.plan import PartitionPlan, partition_plan
+
+__all__ = [
+    "effective_intra_jobs",
+    "get_default_intra_jobs",
+    "get_slot_budget",
+    "in_shard_worker",
+    "in_worker_process",
+    "mark_shard_worker",
+    "mark_worker_process",
+    "set_default_intra_jobs",
+    "set_slot_budget",
+    "worker_pool_width",
+    "PartitionPlan",
+    "partition_plan",
+]

@@ -1,0 +1,142 @@
+"""Process-role markers and the shared concurrency budget.
+
+Intra-case parallelism nests inside the bench pool's *across*-case
+parallelism, so two pieces of global state live here:
+
+* **Process roles** — a bench pool worker calls
+  :func:`mark_worker_process` from its initializer and a shard worker
+  calls :func:`mark_shard_worker` at startup.  ``run_cases`` uses
+  :func:`in_worker_process` to refuse nested pools (fork-bomb guard),
+  and :func:`effective_intra_jobs` uses :func:`in_shard_worker` to stop
+  shard workers from recursively sharding.
+* **The slot budget** — one shared process budget bounding
+  ``jobs × intra_jobs``: a pool of width ``w`` leaves each worker
+  ``budget // w`` shard slots, so nesting cannot oversubscribe the
+  machine.  Defaults to the CPU count; override with
+  :func:`set_slot_budget` or ``REPRO_SLOT_BUDGET``.
+
+This module deliberately imports nothing from ``repro`` beyond the
+error types: both :mod:`repro.bench.pool` and the engine layer read it,
+and it must never create an import cycle between them.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ClusterConfigError
+
+__all__ = [
+    "set_default_intra_jobs",
+    "get_default_intra_jobs",
+    "set_slot_budget",
+    "get_slot_budget",
+    "mark_worker_process",
+    "in_worker_process",
+    "worker_pool_width",
+    "mark_shard_worker",
+    "in_shard_worker",
+    "effective_intra_jobs",
+]
+
+
+def _positive_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ClusterConfigError(f"{what} must be an integer, got {value!r}")
+    if value < 1:
+        raise ClusterConfigError(f"{what} must be >= 1, got {value}")
+    return value
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ClusterConfigError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+    return _positive_int(value, name)
+
+
+_DEFAULT_INTRA_JOBS = _env_positive_int("REPRO_INTRA_JOBS", 1)
+_SLOT_BUDGET = _env_positive_int(
+    "REPRO_SLOT_BUDGET", max(1, os.cpu_count() or 1)
+)
+_POOL_WIDTH = 0  # 0 = this process is not a bench pool worker
+_SHARD_WORKER = False
+
+
+def set_default_intra_jobs(jobs: int) -> None:
+    """Set the process-wide default shard count for intra-case runs.
+
+    Used by cases whose params do not pass ``intra_jobs`` explicitly
+    (the CLI's ``--intra-jobs`` flag lands here, keeping the knob out of
+    :class:`~repro.bench.cases.CaseSpec` and hence out of artifact-cache
+    keys).
+    """
+    global _DEFAULT_INTRA_JOBS
+    _DEFAULT_INTRA_JOBS = _positive_int(jobs, "intra_jobs")
+
+
+def get_default_intra_jobs() -> int:
+    """Current default shard count (env ``REPRO_INTRA_JOBS`` seeds it)."""
+    return _DEFAULT_INTRA_JOBS
+
+
+def set_slot_budget(budget: int) -> None:
+    """Set the shared ``jobs × intra_jobs`` process budget."""
+    global _SLOT_BUDGET
+    _SLOT_BUDGET = _positive_int(budget, "slot budget")
+
+
+def get_slot_budget() -> int:
+    """Current process budget (env ``REPRO_SLOT_BUDGET`` seeds it,
+    falling back to the CPU count)."""
+    return _SLOT_BUDGET
+
+
+def mark_worker_process(pool_width: int) -> None:
+    """Record that this process is a bench pool worker of a
+    ``pool_width``-wide pool (called from the pool initializer)."""
+    global _POOL_WIDTH
+    _POOL_WIDTH = _positive_int(pool_width, "pool width")
+
+
+def in_worker_process() -> bool:
+    """Whether this process is a bench pool worker."""
+    return _POOL_WIDTH > 0
+
+
+def worker_pool_width() -> int:
+    """Width of the pool this worker belongs to (0 outside a pool)."""
+    return _POOL_WIDTH
+
+
+def mark_shard_worker() -> None:
+    """Record that this process is an intra-case shard worker."""
+    global _SHARD_WORKER
+    _SHARD_WORKER = True
+
+
+def in_shard_worker() -> bool:
+    """Whether this process is an intra-case shard worker."""
+    return _SHARD_WORKER
+
+
+def effective_intra_jobs(requested: int) -> int:
+    """Clamp a requested shard count against the process's slot share.
+
+    Shard workers always get 1 (no recursive sharding); a pool worker in
+    a ``w``-wide pool gets at most ``budget // w`` so the whole pool
+    stays within the shared budget; a standalone process gets at most
+    the full budget.
+    """
+    requested = _positive_int(requested, "intra_jobs")
+    if _SHARD_WORKER:
+        return 1
+    width = _POOL_WIDTH if _POOL_WIDTH > 0 else 1
+    share = max(1, _SLOT_BUDGET // width)
+    return max(1, min(requested, share))

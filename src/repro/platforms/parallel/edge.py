@@ -1,0 +1,208 @@
+"""Partition-parallel GAS iterations for the edge-centric bulk path.
+
+:func:`run_bulk_sharded_gas` mirrors ``EdgeCentricEngine._run_bulk``
+with the gather/apply/scatter body of each iteration split across the
+shard pool by active-vertex owner range.  Unlike the vertex-centric
+path, GAS gathers read *arbitrary* vertices' state (a gather pulls from
+every neighbour), so the parent broadcasts the program's full ndarray
+state to each dispatched shard every iteration; workers stay stateless
+between iterations and return own-range state slices plus scalar diffs,
+which the parent (the single authority) folds back in.
+
+The placement arrays — gather CSR, edge parts, replica CSR, masters —
+are shipped once per case at ``gas_start`` (rebuilding the greedy
+vertex-cut per worker would dwarf the iteration cost), and GAS workers
+never open the graph at all.
+
+Bit-identity argument: every metered quantity is an integer bincount
+partitioned exactly by the owner shard of each active vertex, so
+summing shard partials reproduces the single-process matrices and op
+vectors; reductions and applies are per-vertex independent; and the
+next frontier is ``unique`` of a concatenation of per-shard ``unique``
+sets, which equals the global ``unique``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.errors import ConvergenceError, PlatformError
+from repro.obs import SHARD_TASKS, get_tracer
+from repro.platforms.edge_centric.engine import _frontier_array
+from repro.platforms.parallel.plan import partition_plan
+from repro.platforms.parallel.shard import get_shard_pool
+from repro.platforms.parallel.vertex import apply_state_slice
+
+__all__ = ["run_bulk_sharded_gas"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _broadcast_state(pool, shard: int, program, active_slice: np.ndarray,
+                     iteration: int) -> dict:
+    """Ship the iteration snapshot (scalars + every ndarray attribute +
+    the shard's active slice) to one worker; returns the scalar map the
+    worker will diff against."""
+    arrays: list[np.ndarray] = [active_slice]
+    state: dict[str, int] = {}
+    scalars: dict = {}
+    for name, value in vars(program).items():
+        if isinstance(value, np.ndarray):
+            state[name] = len(arrays)
+            arrays.append(value)
+        else:
+            scalars[name] = value
+    pool.send(shard, "gas_step", {
+        "iteration": iteration,
+        "active": 0,
+        "state": state,
+        "scalars": scalars,
+    }, arrays)
+    return scalars
+
+
+def run_bulk_sharded_gas(engine, program, max_iterations: int,
+                         num_shards: int):
+    """Run the bulk GAS loop with each iteration partition-parallel
+    across the shard pool.
+
+    Returns the program on quiescence and raises the engine's exact
+    :class:`ConvergenceError` otherwise.
+    """
+    graph, rec = engine.graph, engine.recorder
+    placement = engine.placement
+    tracer = get_tracer()
+    parts = rec.parts
+    n = graph.num_vertices
+    program.setup(graph)
+    active = _frontier_array(program.initial_active(graph))
+    mode = program.gather_mode
+    if mode not in ("sum", "min", "majority"):
+        raise PlatformError(f"unknown bulk gather mode {mode!r}")
+    mbytes = program.message_bytes
+
+    plan = partition_plan(placement.indptr, num_shards)
+    pool = get_shard_pool(plan.num_shards)
+    with tracer.span("shard-start", category="parallel",
+                     shards=plan.num_shards):
+        placement_arrays = [
+            placement.indptr, placement.adj, placement.adj_part,
+            placement.replica_indptr, placement.replica_flat,
+            placement.master,
+        ]
+        meta = {
+            "program": pickle.dumps(program),
+            "parts": parts,
+            "mode": mode,
+            "num_vertices": n,
+            "indptr": 0,
+            "adj": 1,
+            "adj_part": 2,
+            "rep_indptr": 3,
+            "rep_flat": 4,
+            "master": 5,
+            "adj_weight": None,
+        }
+        if placement.adj_weight is not None:
+            meta["adj_weight"] = len(placement_arrays)
+            placement_arrays.append(placement.adj_weight)
+        for i in range(plan.num_shards):
+            lo, hi = plan.vertex_range(i)
+            pool.send(i, "gas_start", {**meta, "lo": lo, "hi": hi},
+                      placement_arrays)
+        for i in range(plan.num_shards):
+            pool.recv(i)
+
+    iteration = 0
+    while iteration < max_iterations:
+        extra = program.before_iteration(iteration)
+        if extra is not None:
+            active = np.union1d(active, _frontier_array(extra))
+        if active.size == 0 or program.should_stop(iteration):
+            return program
+        with tracer.span("gas-iteration", category="superstep",
+                         index=iteration, active=int(active.size)):
+            rec.begin_superstep()
+            step_ops = np.zeros(parts)
+
+            cuts = plan.split_points(active)
+            with tracer.span("shard-compute", category="parallel",
+                             active=int(active.size)):
+                dispatched = []
+                for i in range(plan.num_shards):
+                    active_slice = active[cuts[i]:cuts[i + 1]]
+                    if active_slice.size == 0:
+                        continue
+                    _broadcast_state(
+                        pool, i, program, active_slice, iteration
+                    )
+                    dispatched.append(i)
+                replies = [pool.recv(i) for i in dispatched]
+            if tracer.enabled:
+                tracer.add(SHARD_TASKS, float(len(dispatched)))
+
+            with tracer.span("shard-merge", category="parallel",
+                             shards=len(dispatched)):
+                gather_msgs = np.zeros(parts * parts, dtype=np.int64)
+                sync_msgs = np.zeros(parts * parts, dtype=np.int64)
+                activation_chunks: list[np.ndarray] = []
+                scalar_updates: dict = {}
+                for shard, (meta_r, arrays) in zip(dispatched, replies):
+                    step_ops += arrays[meta_r["gather_ops"]]
+                    step_ops += arrays[meta_r["master_ops"]]
+                    gather_msgs += arrays[meta_r["gather_msgs"]]
+                    sync_msgs += arrays[meta_r["sync_msgs"]]
+                    act = arrays[meta_r["activation"]]
+                    if act.size:
+                        activation_chunks.append(act)
+                    lo, hi = plan.vertex_range(shard)
+                    for name, idx in meta_r["slices"].items():
+                        apply_state_slice(program, name, lo, hi,
+                                          arrays[idx])
+                    for name, value in meta_r["scalar_diffs"].items():
+                        if (name in scalar_updates
+                                and scalar_updates[name] != value):
+                            raise PlatformError(
+                                f"shard workers disagree on scalar "
+                                f"{name!r}: {scalar_updates[name]!r} vs "
+                                f"{value!r}"
+                            )
+                        scalar_updates[name] = value
+                for name, value in scalar_updates.items():
+                    program.__dict__[name] = value
+
+                # The single-process iteration emits the gather-partial
+                # messages before the replica-sync messages; counts and
+                # bytes land in per-(src, dst) matrices, so emitting the
+                # summed matrices in the same order is bit-identical.
+                _emit_matrix(engine, gather_msgs, parts, mbytes)
+                _emit_matrix(engine, sync_msgs, parts, mbytes)
+
+                activation = (
+                    np.unique(np.concatenate(activation_chunks))
+                    if activation_chunks else _EMPTY
+                )
+
+            for p in range(parts):
+                if step_ops[p]:
+                    rec.add_compute(p, float(step_ops[p]))
+            rec.end_superstep()
+            active = activation
+        iteration += 1
+
+    raise ConvergenceError(
+        f"{type(program).__name__} did not quiesce within "
+        f"{max_iterations} GAS iterations"
+    )
+
+
+def _emit_matrix(engine, matrix: np.ndarray, parts: int,
+                 nbytes: float) -> None:
+    """Replay a summed (parts x parts) message-count matrix through the
+    recorder in the engine's canonical ascending-key order."""
+    for key in np.nonzero(matrix)[0].tolist():
+        engine.recorder.add_message(
+            key // parts, key % parts, nbytes, count=int(matrix[key])
+        )

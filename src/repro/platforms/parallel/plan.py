@@ -1,0 +1,134 @@
+"""Deterministic contiguous partition plans over CSR arrays.
+
+A :class:`PartitionPlan` cuts the vertex range ``0..n`` into
+``num_shards`` contiguous slices, balanced by *adjacency slots* (the
+work a superstep actually scans) rather than by vertex count.  The cut
+points are a pure function of ``(indptr, intra_jobs)``:
+
+* shard ``i`` owns vertices ``bounds[i]..bounds[i+1]`` and, because the
+  slices are contiguous, exactly the CSR slot range
+  ``indptr[bounds[i]]..indptr[bounds[i+1]]`` — no edge is split across
+  shards;
+* the cut targets are the exact integer quantiles
+  ``(i * slots) // k``, located with one ``np.searchsorted`` over
+  ``indptr``, so every process (parent and each shard worker) derives
+  the identical plan from the same CSR without coordination.
+
+Empty slices are legal (a hub vertex can swallow several quantiles);
+the invariants — disjoint, covering, monotone, CSR-aligned — are
+validated on construction and property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusterConfigError
+
+__all__ = ["PartitionPlan", "partition_plan"]
+
+
+@dataclass(frozen=True, eq=False)
+class PartitionPlan:
+    """Contiguous vertex/slot slices derived from a CSR ``indptr``.
+
+    ``bounds`` holds the ``num_shards + 1`` vertex cut points
+    (``bounds[0] == 0``, ``bounds[-1] == n``, non-decreasing);
+    ``slot_bounds`` is ``indptr[bounds]``, the aligned CSR slot cuts.
+    """
+
+    bounds: np.ndarray
+    slot_bounds: np.ndarray
+
+    def __post_init__(self) -> None:
+        bounds = np.asarray(self.bounds, dtype=np.int64)
+        slot_bounds = np.asarray(self.slot_bounds, dtype=np.int64)
+        if bounds.ndim != 1 or bounds.shape[0] < 2:
+            raise ClusterConfigError(
+                "partition plan needs at least one shard (2 bounds), got "
+                f"shape {bounds.shape}"
+            )
+        if slot_bounds.shape != bounds.shape:
+            raise ClusterConfigError(
+                "slot_bounds must align with bounds: "
+                f"{slot_bounds.shape} vs {bounds.shape}"
+            )
+        if int(bounds[0]) != 0:
+            raise ClusterConfigError(
+                f"partition plan must start at vertex 0, got {int(bounds[0])}"
+            )
+        if np.any(np.diff(bounds) < 0) or np.any(np.diff(slot_bounds) < 0):
+            raise ClusterConfigError("partition plan bounds must be monotone")
+        object.__setattr__(self, "bounds", bounds)
+        object.__setattr__(self, "slot_bounds", slot_bounds)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of contiguous slices."""
+        return self.bounds.shape[0] - 1
+
+    @property
+    def num_vertices(self) -> int:
+        """Total vertices covered (``bounds[-1]``)."""
+        return int(self.bounds[-1])
+
+    def vertex_range(self, shard: int) -> tuple[int, int]:
+        """Half-open vertex id range ``[lo, hi)`` owned by ``shard``."""
+        return int(self.bounds[shard]), int(self.bounds[shard + 1])
+
+    def slot_range(self, shard: int) -> tuple[int, int]:
+        """Half-open CSR slot range scanned by ``shard``."""
+        return int(self.slot_bounds[shard]), int(self.slot_bounds[shard + 1])
+
+    def split_points(self, frontier: np.ndarray) -> np.ndarray:
+        """Cut positions of a sorted frontier at the shard bounds.
+
+        ``frontier[cuts[i]:cuts[i + 1]]`` is shard ``i``'s slice; the
+        slices concatenate back to the frontier in order, which is what
+        keeps shard-order merges bit-identical to single-process runs.
+        """
+        return np.searchsorted(frontier, self.bounds)
+
+    def describe(self) -> dict:
+        """Plain-dict summary (shards, per-shard vertex/slot sizes)."""
+        return {
+            "num_shards": self.num_shards,
+            "bounds": self.bounds.tolist(),
+            "vertices_per_shard": np.diff(self.bounds).tolist(),
+            "slots_per_shard": np.diff(self.slot_bounds).tolist(),
+        }
+
+
+def partition_plan(indptr: np.ndarray, intra_jobs: int) -> PartitionPlan:
+    """Build the canonical slot-balanced plan for ``intra_jobs`` shards.
+
+    Deterministic: the same ``indptr`` and ``intra_jobs`` produce the
+    same plan in every process.  The shard count is clamped to the
+    vertex count (never more shards than vertices, at least one).
+    """
+    if isinstance(intra_jobs, bool) or not isinstance(intra_jobs, int):
+        raise ClusterConfigError(
+            f"intra_jobs must be an integer, got {intra_jobs!r}"
+        )
+    if intra_jobs < 1:
+        raise ClusterConfigError(f"intra_jobs must be >= 1, got {intra_jobs}")
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.shape[0] < 1:
+        raise ClusterConfigError(
+            f"indptr must be a 1-D array of n + 1 offsets, got shape "
+            f"{indptr.shape}"
+        )
+    n = indptr.shape[0] - 1
+    k = max(1, min(intra_jobs, n))
+    slots = int(indptr[-1])
+    bounds = np.empty(k + 1, dtype=np.int64)
+    bounds[0] = 0
+    bounds[-1] = n
+    if k > 1:
+        # Exact integer quantiles of the slot range; searchsorted over
+        # the non-decreasing indptr keeps the cut points monotone.
+        targets = (np.arange(1, k, dtype=np.int64) * slots) // k
+        bounds[1:-1] = np.searchsorted(indptr, targets, side="left")
+    return PartitionPlan(bounds=bounds, slot_bounds=indptr[bounds])

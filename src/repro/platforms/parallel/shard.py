@@ -1,0 +1,737 @@
+"""Persistent shard-worker pool over zero-copy shared CSR files.
+
+The process model: a parent engine keeps one spawn-context worker
+process per shard alive across cases (pools are keyed by shard count
+and reused).  Workers ``open_graph_csr`` the case's mmap CSR file once
+— every process then shares the same read-only pages, so the graph is
+never copied — and per-superstep state travels through growable
+``multiprocessing.shared_memory`` arenas: the sender packs numpy arrays
+back-to-back into its arena and ships ``(offset, dtype, shape)``
+descriptors over a pipe; the receiver reconstructs views and copies
+them out.  The strict request/reply alternation per worker means an
+arena is never overwritten before the other side has copied it.
+
+Graphs that are not already mmap-backed (in-memory datasets) are
+spilled once per process to a scratch CSR file via the per-graph kernel
+cache, so repeat cases on the same graph reuse the spill.
+
+Worker-side execution re-uses the engines' own bulk kernels:
+
+* ``vc_*`` commands run :meth:`BulkVertexProgram.compute_bulk` on a
+  frontier slice with a :class:`_ShardContext` that records send
+  ordinals and raw aggregate arrays for order-preserving merges;
+* ``gas_*`` commands run one gather/apply/scatter slice with the edge
+  engine's ``_reduce_contributions``, returning per-part op and
+  message-matrix partials for the parent to meter.
+
+The parent-side orchestration (metering, routing, merging — everything
+that must stay bit-identical to the single-process path) lives in
+:mod:`repro.platforms.parallel.vertex` and
+:mod:`repro.platforms.parallel.edge`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import shutil
+import sys
+import tempfile
+import traceback
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.graph import Graph
+from repro.core.mmapcsr import open_graph_csr, read_csr_header, write_graph_csr
+from repro.errors import PlatformError
+from repro.platforms.kernels import cached_kernel, expand_segments
+from repro.platforms.parallel.config import mark_shard_worker
+from repro.platforms.vertex_centric.engine import BulkInbox, BulkVertexContext
+
+__all__ = [
+    "ShardPool",
+    "get_shard_pool",
+    "shutdown_shard_pools",
+    "ensure_csr_path",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory arenas
+# ----------------------------------------------------------------------
+
+
+def _align8(nbytes: int) -> int:
+    return (nbytes + 7) & ~7
+
+
+#: Process-wide arena sequence: segment names embed the creating pid
+#: plus this counter, so concurrent pools (and regrown arenas) in one
+#: process can never collide in the shm namespace.
+_ARENA_SEQ = itertools.count(1)
+
+
+class _ArenaWriter:
+    """Send side of a growable shared-memory arena.
+
+    ``pack`` lays the arrays out back-to-back (8-byte aligned) and
+    returns ``(shm_name, descriptors)``.  The arena grows by retiring
+    the old segment (close + unlink) and creating a fresh one under a
+    new name; the receiver re-attaches when the name changes.
+    """
+
+    def __init__(self, tag: str) -> None:
+        self._tag = tag
+        self._shm: shared_memory.SharedMemory | None = None
+
+    def pack(self, arrays) -> tuple[str | None, list]:
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        if not arrays:
+            return None, []
+        total = sum(_align8(a.nbytes) for a in arrays)
+        if self._shm is None or self._shm.size < total:
+            self.close()
+            size = max(8, total)
+            self._shm = shared_memory.SharedMemory(
+                name=f"repro-{self._tag}-{next(_ARENA_SEQ)}",
+                create=True,
+                size=size,
+            )
+        offset = 0
+        descriptors = []
+        for a in arrays:
+            if a.nbytes:
+                view = np.ndarray(
+                    a.shape, dtype=a.dtype, buffer=self._shm.buf, offset=offset
+                )
+                view[...] = a
+            descriptors.append((offset, a.dtype.str, a.shape))
+            offset += _align8(a.nbytes)
+        return self._shm.name, descriptors
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+
+class _ArenaReader:
+    """Receive side: attach by name (cached), copy arrays out."""
+
+    def __init__(self) -> None:
+        self._name: str | None = None
+        self._shm: shared_memory.SharedMemory | None = None
+
+    def unpack(self, name: str | None, descriptors) -> list[np.ndarray]:
+        if name is None:
+            return []
+        if name != self._name:
+            self.detach()
+            # Python 3.11 registers attachments with the resource
+            # tracker as if they were creations; parent and spawn
+            # workers share one tracker process, so the duplicate
+            # registration dedupes and the creator's unlink clears it.
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._name = name
+        out = []
+        for offset, dtype, shape in descriptors:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=self._shm.buf,
+                offset=offset,
+            )
+            # Copy-on-receive: the sender reuses the arena next round.
+            out.append(view.copy())
+        return out
+
+    def detach(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+            self._name = None
+
+
+# ----------------------------------------------------------------------
+# CSR path resolution (the zero-copy handle shipped to workers)
+# ----------------------------------------------------------------------
+
+_SCRATCH_DIR: str | None = None
+
+
+def _scratch_dir() -> str:
+    global _SCRATCH_DIR
+    if _SCRATCH_DIR is None:
+        _SCRATCH_DIR = tempfile.mkdtemp(prefix="repro-shard-csr-")
+        atexit.register(shutil.rmtree, _SCRATCH_DIR, ignore_errors=True)
+    return _SCRATCH_DIR
+
+
+def _backing_csr_file(arr) -> str | None:
+    """Walk an array's ``.base`` chain to the memmap's filename.
+
+    ``Graph.__init__`` runs arrays through ``np.ascontiguousarray``,
+    which strips the ``np.memmap`` subclass into a plain ndarray view —
+    the memmap survives only as a link in the base chain.
+    """
+    seen: set[int] = set()
+    while arr is not None and id(arr) not in seen:
+        seen.add(id(arr))
+        if isinstance(arr, np.memmap):
+            filename = getattr(arr, "filename", None)
+            return None if filename is None else str(filename)
+        arr = getattr(arr, "base", None)
+    return None
+
+
+def _existing_csr_path(graph: Graph) -> str | None:
+    """Path of the CSR file already backing ``graph``, if any."""
+    candidates = {
+        _backing_csr_file(graph.indptr),
+        _backing_csr_file(graph.indices),
+    }
+    if graph.weights is not None:
+        candidates.add(_backing_csr_file(graph.weights))
+    if len(candidates) != 1:
+        return None
+    (path,) = candidates
+    if path is None or not os.path.exists(path):
+        return None
+    try:
+        header = read_csr_header(path)
+    except Exception:
+        return None
+    if (
+        header["num_vertices"] == graph.num_vertices
+        and header["slots"] == graph.indices.shape[0]
+        and bool(header["directed"]) == graph.directed
+        and int(header["num_edges"]) == graph.num_edges
+        and bool(header["has_weights"]) == (graph.weights is not None)
+    ):
+        return path
+    return None
+
+
+def ensure_csr_path(graph: Graph) -> str:
+    """Return a CSR file path for ``graph``, spilling to scratch if
+    needed.
+
+    Graphs opened from the mmap store are served zero-copy (the backing
+    file itself); in-memory graphs are written once per process to a
+    scratch file, memoized through the per-graph kernel cache so repeat
+    cases on the same graph reuse the spill.
+    """
+
+    def _build() -> str:
+        path = _existing_csr_path(graph)
+        if path is not None:
+            return path
+        spill = os.path.join(_scratch_dir(), f"graph-{id(graph)}.csr")
+        write_graph_csr(graph, spill, meta={"origin": "shard-spill"})
+        return spill
+
+    return cached_kernel(graph, "shard-csr-path", _build)
+
+
+# ----------------------------------------------------------------------
+# Worker pool (parent side)
+# ----------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "process", "conn", "writer", "reader")
+
+    def __init__(self, index, process, conn, writer, reader) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.writer = writer
+        self.reader = reader
+
+
+@contextlib.contextmanager
+def _suppress_main_reimport():
+    """Stop spawn children from re-executing the parent's ``__main__``.
+
+    Spawned processes normally re-import the parent's main module, which
+    crashes (or worse, recursively re-spawns) when the parent is an
+    unguarded script, a heredoc, or a REPL — none of which a shard
+    worker needs: its target and every program class it unpickles live
+    in ``repro`` modules, never in ``__main__``.  Temporarily hiding
+    ``__main__``'s ``__spec__``/``__file__`` makes
+    ``multiprocessing.spawn.get_preparation_data`` skip the main fixup
+    entirely, so ``intra_jobs`` works from any entry point.
+    """
+    main = sys.modules.get("__main__")
+    if main is None:
+        yield
+        return
+    sentinel = object()
+    saved_file = getattr(main, "__file__", sentinel)
+    saved_spec = getattr(main, "__spec__", sentinel)
+    try:
+        main.__spec__ = None
+        if saved_file is not sentinel:
+            del main.__file__
+        yield
+    finally:
+        if saved_file is not sentinel:
+            main.__file__ = saved_file
+        if saved_spec is not sentinel:
+            main.__spec__ = saved_spec
+        else:
+            del main.__spec__
+
+
+class ShardPool:
+    """A fixed set of persistent shard-worker processes.
+
+    The protocol per worker is a strict request/reply alternation:
+    :meth:`send` packs a command's arrays into the parent's per-worker
+    arena and writes the message to the pipe; :meth:`recv` blocks for
+    the reply and copies its arrays out of the worker's arena.  The
+    alternation is what makes arena reuse safe (see module docstring).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise PlatformError(
+                f"shard pool needs >= 1 worker, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        ctx = multiprocessing.get_context("spawn")
+        self._workers: list[_WorkerHandle] = []
+        for i in range(num_shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(i, child_conn),
+                name=f"repro-shard-{i}",
+                daemon=True,
+            )
+            with _suppress_main_reimport():
+                process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(
+                i, process, parent_conn,
+                _ArenaWriter(f"{os.getpid()}-req{i}"), _ArenaReader(),
+            ))
+
+    def healthy(self) -> bool:
+        """Whether every worker process is still alive."""
+        return all(w.process.is_alive() for w in self._workers)
+
+    def send(self, index: int, command: str, meta, arrays=()) -> None:
+        """Dispatch one command (meta + arrays) to worker ``index``."""
+        worker = self._workers[index]
+        name, descriptors = worker.writer.pack(arrays)
+        try:
+            worker.conn.send((command, meta, name, descriptors))
+        except (BrokenPipeError, OSError) as exc:
+            raise PlatformError(
+                f"shard worker {index} is gone: {exc}"
+            ) from exc
+
+    def recv(self, index: int):
+        """Collect worker ``index``'s reply as ``(meta, arrays)``."""
+        worker = self._workers[index]
+        try:
+            status, meta, name, descriptors = worker.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise PlatformError(
+                f"shard worker {index} died mid-request"
+            ) from exc
+        if status == "error":
+            raise PlatformError(
+                f"shard worker {index} failed:\n{meta}"
+            )
+        return meta, worker.reader.unpack(name, descriptors)
+
+    def shutdown(self) -> None:
+        """Stop every worker and release arenas (idempotent)."""
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown", None, None, []))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+            worker.writer.close()
+            worker.reader.detach()
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+
+_POOLS: dict[int, ShardPool] = {}
+
+
+def get_shard_pool(num_shards: int) -> ShardPool:
+    """The persistent pool with ``num_shards`` workers (spawn on first
+    use, respawn if a worker died)."""
+    pool = _POOLS.get(num_shards)
+    if pool is not None and pool.healthy():
+        return pool
+    if pool is not None:
+        pool.shutdown()
+    pool = ShardPool(num_shards)
+    _POOLS[num_shards] = pool
+    return pool
+
+
+def shutdown_shard_pools() -> None:
+    """Tear down every live pool (registered atexit)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_shard_pools)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _ShardContext(BulkVertexContext):
+    """``compute_bulk`` context used inside shard workers.
+
+    Differences from the single-process context, both in service of the
+    parent's order-preserving merge:
+
+    * every send call gets an *ordinal* (its position in the program's
+      per-superstep call sequence, counting empty sends too), so the
+      parent can concatenate shard batches per ordinal in shard order —
+      reproducing the exact batch list a single-process superstep
+      builds;
+    * :meth:`aggregate_bulk` stashes the raw value arrays instead of
+      folding them, so the parent can run one ``sequential_sum`` over
+      the shard-order concatenation — bit-identical to the
+      single-process fold over the full frontier-order array.
+    """
+
+    __slots__ = ("_send_seq", "_shard_batches", "_bulk_aggs")
+
+    def __init__(self, graph, part, parts, default_nbytes) -> None:
+        super().__init__(graph, part, parts, default_nbytes)
+        self._send_seq = 0
+        self._shard_batches: list[tuple] = []
+        self._bulk_aggs: dict[str, list[np.ndarray]] = {}
+
+    def send_edges_bulk(self, src_flat, dst_flat, values_flat, *,
+                        nbytes=None) -> None:
+        ordinal = self._send_seq
+        self._send_seq += 1
+        src_flat = np.asarray(src_flat, dtype=np.int64)
+        if src_flat.size == 0:
+            return
+        nb = self._default_nbytes if nbytes is None else float(nbytes)
+        self._shard_batches.append((
+            ordinal,
+            src_flat,
+            np.asarray(dst_flat, dtype=np.int64),
+            np.asarray(values_flat),
+            nb,
+        ))
+
+    def aggregate_bulk(self, name: str, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size:
+            self._bulk_aggs.setdefault(name, []).append(values)
+
+
+class _VCSession:
+    __slots__ = ("graph", "program", "part", "parts", "lo", "hi")
+
+    def __init__(self, graph, program, part, parts, lo, hi) -> None:
+        self.graph = graph
+        self.program = program
+        self.part = part
+        self.parts = parts
+        self.lo = lo
+        self.hi = hi
+
+
+class _GASSession:
+    __slots__ = ("program", "parts", "mode", "num_vertices", "lo", "hi",
+                 "indptr", "adj", "adj_part", "adj_weight",
+                 "rep_indptr", "rep_flat", "master")
+
+    def __init__(self, **attrs) -> None:
+        for name, value in attrs.items():
+            setattr(self, name, value)
+
+
+class _WorkerState:
+    __slots__ = ("graphs", "vc", "gas")
+
+    def __init__(self) -> None:
+        self.graphs: dict[str, Graph] = {}
+        self.vc: _VCSession | None = None
+        self.gas: _GASSession | None = None
+
+    def graph(self, path: str) -> Graph:
+        graph = self.graphs.get(path)
+        if graph is None:
+            graph, _ = open_graph_csr(path)
+            self.graphs[path] = graph
+        return graph
+
+
+def _handle_vc_start(state: _WorkerState, meta, arrays):
+    graph = state.graph(meta["csr_path"])
+    state.vc = _VCSession(
+        graph=graph,
+        program=pickle.loads(meta["program"]),
+        part=arrays[meta["part"]],
+        parts=meta["parts"],
+        lo=meta["lo"],
+        hi=meta["hi"],
+    )
+    return {}, []
+
+
+def _handle_vc_step(state: _WorkerState, meta, arrays):
+    sess = state.vc
+    graph, program = sess.graph, sess.program
+    n = graph.num_vertices
+    frontier = arrays[meta["frontier"]]
+
+    kind = meta["inbox"]
+    if kind == "raw":
+        dst = arrays[meta["dst"]]
+        values = arrays[meta["values"]]
+        counts = np.bincount(dst, minlength=n).astype(np.int64)
+        inbox = BulkInbox(n, dst=dst, values=values, counts=counts)
+    elif kind == "combined":
+        combined_slice = arrays[meta["combined"]]
+        counts_slice = arrays[meta["counts"]]
+        dtype = combined_slice.dtype
+        if meta["mode"] == "sum":
+            fill = dtype.type(0)
+        elif dtype.kind == "f":
+            fill = np.inf
+        else:
+            fill = np.iinfo(dtype).max
+        # Out-of-range entries are never read (the frontier slice and
+        # the counts restrict every lookup to [lo, hi)); the fill only
+        # keeps the array well-formed.
+        combined = np.full(n, fill, dtype=dtype)
+        combined[sess.lo:sess.hi] = combined_slice
+        counts = np.zeros(n, dtype=np.int64)
+        counts[sess.lo:sess.hi] = counts_slice
+        inbox = BulkInbox(n, combined=combined, counts=counts)
+    else:
+        inbox = BulkInbox(n)
+
+    ctx = _ShardContext(graph, sess.part, sess.parts, program.message_bytes)
+    ctx.superstep = meta["superstep"]
+    ctx._agg_prev = dict(meta["agg_prev"])
+    program.compute_bulk(frontier, inbox, ctx)
+
+    out: list[np.ndarray] = []
+
+    def put(arr: np.ndarray) -> int:
+        out.append(arr)
+        return len(out) - 1
+
+    reply = {
+        "batches": [
+            (ordinal, nb, put(src), put(dst), put(vals))
+            for ordinal, src, dst, vals, nb in ctx._shard_batches
+        ],
+        "active": put(ctx._take_active()),
+        "extra_ops": put(ctx._extra_ops),
+        "agg_scalars": {k: float(v) for k, v in ctx._agg_next.items()},
+        "agg_bulk": {
+            name: put(chunks[0] if len(chunks) == 1
+                      else np.concatenate(chunks))
+            for name, chunks in ctx._bulk_aggs.items()
+        },
+    }
+    return reply, out
+
+
+def _handle_vc_finish(state: _WorkerState, meta, arrays):
+    sess = state.vc
+    n = sess.graph.num_vertices
+    out: list[np.ndarray] = []
+    slices: dict[str, int] = {}
+    for name, value in vars(sess.program).items():
+        if (isinstance(value, np.ndarray) and value.ndim == 1
+                and value.shape[0] == n):
+            slices[name] = len(out)
+            out.append(value[sess.lo:sess.hi])
+    state.vc = None
+    return {"slices": slices}, out
+
+
+def _handle_gas_start(state: _WorkerState, meta, arrays):
+    state.gas = _GASSession(
+        program=pickle.loads(meta["program"]),
+        parts=meta["parts"],
+        mode=meta["mode"],
+        num_vertices=meta["num_vertices"],
+        lo=meta["lo"],
+        hi=meta["hi"],
+        indptr=arrays[meta["indptr"]],
+        adj=arrays[meta["adj"]],
+        adj_part=arrays[meta["adj_part"]],
+        adj_weight=(None if meta["adj_weight"] is None
+                    else arrays[meta["adj_weight"]]),
+        rep_indptr=arrays[meta["rep_indptr"]],
+        rep_flat=arrays[meta["rep_flat"]],
+        master=arrays[meta["master"]],
+    )
+    return {}, []
+
+
+def _handle_gas_step(state: _WorkerState, meta, arrays):
+    from repro.platforms.edge_centric.engine import _reduce_contributions
+
+    sess = state.gas
+    program = sess.program
+    parts = sess.parts
+    n = sess.num_vertices
+
+    # Install the parent's post-before_iteration snapshot: gathers may
+    # read *any* vertex's state, so workers run on the full broadcast
+    # arrays, not their slice.
+    scalars = meta["scalars"]
+    program.__dict__.update(scalars)
+    for name, idx in meta["state"].items():
+        program.__dict__[name] = arrays[idx]
+
+    active = arrays[meta["active"]]
+    front = active.size
+    slots, dst_pos, counts = expand_segments(sess.indptr, active)
+    sources = sess.adj[slots]
+    edge_parts = sess.adj_part[slots]
+    weights = None if sess.adj_weight is None else sess.adj_weight[slots]
+    masters = sess.master[active]
+    contrib = program.gather_bulk(sources, weights)
+    gather_ops = np.bincount(edge_parts, minlength=parts)
+
+    pair = np.bincount(
+        dst_pos * parts + edge_parts, minlength=front * parts
+    ).reshape(front, parts)
+    vpos, touched_part = np.nonzero(pair)
+    remote = touched_part != masters[vpos]
+    gather_msgs = np.bincount(
+        touched_part[remote] * parts + masters[vpos[remote]],
+        minlength=parts * parts,
+    )
+
+    gathered = counts > 0
+    acc = _reduce_contributions(
+        sess.mode, contrib, dst_pos, edge_parts, counts, front, parts, n
+    )
+    master_ops = np.bincount(masters, minlength=parts)
+    changed = program.apply_bulk(active, acc, gathered)
+
+    sync_msgs = np.zeros(parts * parts, dtype=np.int64)
+    activation = np.empty(0, dtype=np.int64)
+    changed_vs = active[changed]
+    if changed_vs.size:
+        rslots, rpos, _ = expand_segments(sess.rep_indptr, changed_vs)
+        rep_parts = sess.rep_flat[rslots]
+        rep_masters = sess.master[changed_vs][rpos]
+        sync = rep_parts != rep_masters
+        sync_msgs = np.bincount(
+            rep_masters[sync] * parts + rep_parts[sync],
+            minlength=parts * parts,
+        )
+        seeds = changed_vs[program.scatter_bulk(changed_vs)]
+        if seeds.size:
+            aslots, _, _ = expand_segments(sess.indptr, seeds)
+            activation = np.unique(sess.adj[aslots])
+
+    out: list[np.ndarray] = []
+
+    def put(arr: np.ndarray) -> int:
+        out.append(arr)
+        return len(out) - 1
+
+    slices = {}
+    for name, value in vars(program).items():
+        if (isinstance(value, np.ndarray) and value.ndim == 1
+                and value.shape[0] == n):
+            slices[name] = put(value[sess.lo:sess.hi])
+    scalar_diffs = {
+        name: value
+        for name, value in vars(program).items()
+        if not isinstance(value, np.ndarray)
+        and (name not in scalars or scalars[name] != value)
+    }
+    reply = {
+        "gather_ops": put(gather_ops),
+        "master_ops": put(master_ops),
+        "gather_msgs": put(gather_msgs),
+        "sync_msgs": put(sync_msgs),
+        "activation": put(activation),
+        "slices": slices,
+        "scalar_diffs": scalar_diffs,
+    }
+    return reply, out
+
+
+_HANDLERS = {
+    "vc_start": _handle_vc_start,
+    "vc_step": _handle_vc_step,
+    "vc_finish": _handle_vc_finish,
+    "gas_start": _handle_gas_start,
+    "gas_step": _handle_gas_step,
+}
+
+
+def _shard_worker_main(index: int, conn) -> None:
+    """Worker process entry: serve commands until shutdown/EOF."""
+    mark_shard_worker()
+    reader = _ArenaReader()
+    writer = _ArenaWriter(f"{os.getpid()}-rep{index}")
+    state = _WorkerState()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            command, meta, name, descriptors = message
+            if command == "shutdown":
+                break
+            try:
+                arrays = reader.unpack(name, descriptors)
+                reply_meta, reply_arrays = _HANDLERS[command](
+                    state, meta, arrays
+                )
+            except BaseException:
+                try:
+                    conn.send(("error", traceback.format_exc(), None, []))
+                except OSError:
+                    break
+                continue
+            reply_name, reply_descriptors = writer.pack(reply_arrays)
+            try:
+                conn.send(("ok", reply_meta, reply_name, reply_descriptors))
+            except OSError:
+                break
+    finally:
+        writer.close()
+        reader.detach()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,295 @@
+"""Partition-parallel supersteps for the vertex-centric bulk path.
+
+:func:`run_bulk_sharded` is a drop-in twin of
+``VertexCentricEngine._run_bulk`` that farms each superstep's
+``compute_bulk`` out to the persistent shard pool and keeps everything
+that is metered — frontier construction, scan/receive ops, routing,
+combining, aggregation broadcasts — on the parent, running the engine's
+own ``_route_bulk`` / ``_flush_superstep`` over merged shard output.
+
+Why the merge is bit-identical to the single-process path at any shard
+count:
+
+* the frontier is sorted and shards own contiguous vertex ranges, so
+  concatenating per-shard results in shard order reconstructs exactly
+  the frontier-order arrays a single ``compute_bulk`` call builds;
+* send batches are matched across shards by *ordinal* (position in the
+  program's send-call sequence) and concatenated in shard order, so the
+  parent's ``_route_bulk`` sees the identical batch list;
+* per-part op partials (``charge_bulk``) are dyadic-exact floats times
+  integer counts, so shard partials sum exactly in any order;
+* bulk aggregates ship raw value arrays and the parent runs one
+  ``sequential_sum`` over the shard-order concatenation — the same
+  left-to-right cumsum the single-process fold performs.
+
+The caller (``VertexCentricEngine.run``) has already verified the
+program is ``shard_safe``, unscripted, hook-free, and fault-free.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.errors import ConvergenceError, PlatformError
+from repro.obs import SHARD_TASKS, get_tracer
+from repro.platforms.parallel.plan import PartitionPlan, partition_plan
+from repro.platforms.parallel.shard import (
+    ShardPool,
+    ensure_csr_path,
+    get_shard_pool,
+)
+from repro.platforms.vertex_centric.engine import (
+    BulkInbox,
+    BulkVertexContext,
+    sequential_sum,
+)
+
+__all__ = ["run_bulk_sharded", "apply_state_slice"]
+
+
+def apply_state_slice(program, name: str, lo: int, hi: int,
+                      value: np.ndarray) -> None:
+    """Write a shard's ``[lo, hi)`` slice back into a program array.
+
+    Read-only arrays (e.g. views over cached kernels) are only replaced
+    when the slice actually differs — a worker can never have mutated
+    its own read-only copy's source, but its pickled copy is writable,
+    so the conservative check keeps identity stable.
+    """
+    target = program.__dict__.get(name)
+    if not isinstance(target, np.ndarray):
+        return
+    if target.flags.writeable:
+        target[lo:hi] = value
+    elif not np.array_equal(target[lo:hi], value):
+        replacement = target.copy()
+        replacement[lo:hi] = value
+        program.__dict__[name] = replacement
+
+
+def _dispatch_superstep(
+    pool: ShardPool,
+    plan: PartitionPlan,
+    program,
+    frontier: np.ndarray,
+    inbox: BulkInbox,
+    superstep: int,
+    agg_prev: dict,
+) -> list[int]:
+    """Ship each non-empty frontier slice (plus its inbox slice) to its
+    shard worker; returns the dispatched shard indices in order."""
+    cuts = plan.split_points(frontier)
+    combined = inbox._combined
+    raw_dst = inbox._dst
+    counts = inbox._counts
+    dispatched: list[int] = []
+    for i in range(plan.num_shards):
+        fslice = frontier[cuts[i]:cuts[i + 1]]
+        if fslice.size == 0:
+            # No active vertices and no messages in this range: the
+            # single-process superstep would not touch it either.
+            continue
+        lo, hi = plan.vertex_range(i)
+        arrays = [fslice]
+        meta = {
+            "superstep": superstep,
+            "agg_prev": agg_prev,
+            "frontier": 0,
+            "inbox": "none",
+        }
+        if combined is not None:
+            counts_slice = counts[lo:hi]
+            if counts_slice.any():
+                meta["inbox"] = "combined"
+                meta["mode"] = program.bulk_combine
+                meta["combined"] = len(arrays)
+                arrays.append(combined[lo:hi])
+                meta["counts"] = len(arrays)
+                arrays.append(counts_slice)
+        elif raw_dst is not None and raw_dst.size:
+            mask = (raw_dst >= lo) & (raw_dst < hi)
+            if mask.any():
+                # Boolean masking preserves delivery order, so the
+                # worker-side bincount sum/min accumulates each of its
+                # vertices' messages in the original sequence.
+                meta["inbox"] = "raw"
+                meta["dst"] = len(arrays)
+                arrays.append(raw_dst[mask])
+                meta["values"] = len(arrays)
+                arrays.append(inbox._values[mask])
+        pool.send(i, "vc_step", meta, arrays)
+        dispatched.append(i)
+    return dispatched
+
+
+def _merge_replies(ctx: BulkVertexContext, replies: list) -> np.ndarray:
+    """Fold shard replies (in shard order) into the parent context;
+    returns the merged next-superstep activation set."""
+    active_chunks: list[np.ndarray] = []
+    batch_groups: dict[int, list] = {}
+    bulk_groups: dict[str, list[np.ndarray]] = {}
+    for meta, arrays in replies:
+        for ordinal, nb, src_i, dst_i, val_i in meta["batches"]:
+            group = batch_groups.setdefault(ordinal, [nb, [], [], []])
+            if group[0] != nb:
+                raise PlatformError(
+                    "shard workers disagree on message bytes for send "
+                    f"ordinal {ordinal}: {group[0]} vs {nb}"
+                )
+            group[1].append(arrays[src_i])
+            group[2].append(arrays[dst_i])
+            group[3].append(arrays[val_i])
+        act = arrays[meta["active"]]
+        if act.size:
+            active_chunks.append(act)
+        ctx._extra_ops += arrays[meta["extra_ops"]]
+        for name, value in meta["agg_scalars"].items():
+            ctx.aggregate(name, value)
+        for name, idx in meta["agg_bulk"].items():
+            bulk_groups.setdefault(name, []).append(arrays[idx])
+
+    for ordinal in sorted(batch_groups):
+        nb, srcs, dsts, vals = batch_groups[ordinal]
+        ctx._batches.append((
+            srcs[0] if len(srcs) == 1 else np.concatenate(srcs),
+            dsts[0] if len(dsts) == 1 else np.concatenate(dsts),
+            vals[0] if len(vals) == 1 else np.concatenate(vals),
+            nb,
+        ))
+    for name, chunks in bulk_groups.items():
+        values = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+        if values.size:
+            ctx.aggregate(name, sequential_sum(values))
+    if not active_chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(active_chunks))
+
+
+def _collect_state(pool: ShardPool, plan: PartitionPlan, program) -> None:
+    """Pull every shard's own-range program state back into the parent
+    (each range is mutated only by its owner, so slices compose)."""
+    k = plan.num_shards
+    for i in range(k):
+        pool.send(i, "vc_finish", {}, [])
+    for i in range(k):
+        meta, arrays = pool.recv(i)
+        lo, hi = plan.vertex_range(i)
+        for name, idx in meta["slices"].items():
+            apply_state_slice(program, name, lo, hi, arrays[idx])
+
+
+def run_bulk_sharded(engine, program, max_supersteps: int,
+                     num_shards: int):
+    """Run the bulk vertex-centric superstep loop with ``compute_bulk``
+    partition-parallel across the shard pool.
+
+    Mirrors ``VertexCentricEngine._run_bulk`` line for line on the
+    metered path; returns the (state-synced) program on quiescence and
+    raises the engine's exact :class:`ConvergenceError` otherwise.
+    """
+    graph, rec, profile = engine.graph, engine.recorder, engine.profile
+    tracer = get_tracer()
+    parts = rec.parts
+    part = engine._part
+    n = graph.num_vertices
+    program.setup(graph)
+
+    combining = profile.combiner and program.combine is not None
+    if combining and program.bulk_combine not in ("sum", "min"):
+        raise PlatformError(
+            f"{type(program).__name__} defines combine but its "
+            f"bulk_combine is {program.bulk_combine!r}; the bulk path "
+            "needs 'sum' or 'min'"
+        )
+
+    plan = partition_plan(graph.indptr, num_shards)
+    csr_path = ensure_csr_path(graph)
+    pool = get_shard_pool(plan.num_shards)
+    blob = pickle.dumps(program)
+    with tracer.span("shard-start", category="parallel",
+                     shards=plan.num_shards):
+        for i in range(plan.num_shards):
+            lo, hi = plan.vertex_range(i)
+            pool.send(i, "vc_start", {
+                "csr_path": csr_path,
+                "program": blob,
+                "lo": lo,
+                "hi": hi,
+                "parts": parts,
+                "part": 0,
+            }, [part])
+        for i in range(plan.num_shards):
+            pool.recv(i)
+
+    ctx = BulkVertexContext(graph, part, parts, program.message_bytes)
+    active = np.unique(np.fromiter(
+        (int(v) for v in program.initial_frontier(graph)),
+        dtype=np.int64,
+    ))
+    inbox = BulkInbox(n)
+    dense_threshold = max(1, n // 20)
+
+    superstep = 0
+    while superstep < max_supersteps:
+        ctx.superstep = superstep
+        inbox_dsts = inbox.destinations()
+        if active.size == 0 and inbox_dsts.size == 0:
+            _collect_state(pool, plan, program)
+            return program
+        if inbox_dsts.size == 0:
+            frontier = active
+        elif active.size == 0:
+            frontier = inbox_dsts
+        else:
+            frontier = np.union1d(active, inbox_dsts)
+
+        with tracer.span("superstep", category="superstep",
+                         index=superstep, frontier=int(frontier.size)):
+            rec.begin_superstep()
+            step_ops = np.zeros(parts)
+
+            dense = frontier.size >= dense_threshold
+            msg_op_cost = 0.5 if (profile.push_pull and dense) else 1.0
+
+            # Scan and receive metering stay on the parent: it holds the
+            # full inbox, so these match the single-process path exactly.
+            if profile.vertex_subset:
+                step_ops += np.bincount(part[frontier], minlength=parts)
+            else:
+                step_ops += engine._part_sizes
+
+            if inbox_dsts.size:
+                counts = inbox.count_per_vertex()[inbox_dsts]
+                step_ops += msg_op_cost * np.bincount(
+                    part[inbox_dsts],
+                    weights=counts.astype(np.float64),
+                    minlength=parts,
+                )
+
+            with tracer.span("shard-compute", category="parallel",
+                             frontier=int(frontier.size)):
+                dispatched = _dispatch_superstep(
+                    pool, plan, program, frontier, inbox, superstep,
+                    ctx._agg_prev,
+                )
+                replies = [pool.recv(i) for i in dispatched]
+            if tracer.enabled:
+                tracer.add(SHARD_TASKS, float(len(dispatched)))
+            with tracer.span("shard-merge", category="parallel",
+                             shards=len(dispatched)):
+                merged_active = _merge_replies(ctx, replies)
+
+            inbox = engine._route_bulk(ctx, program, step_ops, combining)
+            engine._flush_superstep(ctx._agg_next, step_ops)
+
+            active = merged_active
+            ctx._roll()
+        superstep += 1
+
+    _collect_state(pool, plan, program)
+    raise ConvergenceError(
+        f"{type(program).__name__} did not quiesce within "
+        f"{max_supersteps} supersteps"
+    )

@@ -99,7 +99,8 @@ class VertexCentricPlatform(Platform):
         # through the vectorized bulk-frontier path; SCALAR/BULK force
         # one path (the parity tests diff the two).
         engine = VertexCentricEngine(
-            graph, partition, recorder, self.profile, mode=options.mode.value
+            graph, partition, recorder, self.profile,
+            mode=options.mode.value, intra_jobs=options.intra_jobs,
         )
         profile = self.profile
 

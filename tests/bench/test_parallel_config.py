@@ -1,0 +1,86 @@
+"""The nested-pool guard and the intra_jobs option plumbing.
+
+Intra-case sharding and the bench pool share one slot budget and a set
+of process-role markers (:mod:`repro.platforms.parallel.config`).
+These tests pin down the pieces the parity suites cannot see from the
+outside: the fork-bomb guard in :func:`run_cases`, the worker
+initializer's width marking, option parsing, and the process-wide
+default that the CLI's ``--intra-jobs`` flag sets.
+"""
+
+import pytest
+
+from repro.bench import CaseSpec, clear_case_cache, run_cases
+from repro.bench.pool import _worker_init
+from repro.errors import ClusterConfigError, PlatformError
+from repro.platforms.common import parse_engine_options
+from repro.platforms.parallel import (
+    get_default_intra_jobs,
+    set_default_intra_jobs,
+)
+from repro.platforms.parallel import config as parallel_config
+
+
+class TestNestedPoolGuard:
+    def test_pool_worker_runs_sequentially(self, monkeypatch):
+        """Inside a pool worker, ``jobs>1`` degrades to the sequential
+        loop instead of opening a second (nested) process pool."""
+        monkeypatch.setattr(parallel_config, "_POOL_WIDTH", 4)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("nested ProcessPoolExecutor opened")
+
+        monkeypatch.setattr(
+            "repro.bench.pool.ProcessPoolExecutor", _no_pool
+        )
+        clear_case_cache()
+        specs = [CaseSpec.make("Ligra", "pr", "S8-Std"),
+                 CaseSpec.make("Grape", "tc", "S8-Std")]
+        outcomes = run_cases(specs, jobs=4)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+
+    def test_shard_worker_runs_sequentially(self, monkeypatch):
+        monkeypatch.setattr(parallel_config, "_SHARD_WORKER", True)
+        monkeypatch.setattr(
+            "repro.bench.pool.ProcessPoolExecutor",
+            lambda *a, **k: pytest.fail("nested pool in shard worker"),
+        )
+        clear_case_cache()
+        outcomes = run_cases(
+            [CaseSpec.make("Ligra", "pr", "S8-Std")], jobs=8
+        )
+        assert outcomes[0].status == "ok"
+
+    def test_worker_init_marks_pool_width(self, monkeypatch):
+        monkeypatch.setattr(parallel_config, "_POOL_WIDTH", 0)
+        monkeypatch.setattr(parallel_config, "_SLOT_BUDGET", 8)
+        _worker_init(None, None, "memory", 4)
+        assert parallel_config.in_worker_process()
+        assert parallel_config.worker_pool_width() == 4
+        # The engine-side clamp sees the share immediately.
+        assert parallel_config.effective_intra_jobs(8) == 2
+
+
+class TestIntraJobsOption:
+    def test_parse_default_is_process_global(self):
+        assert parse_engine_options({}).intra_jobs == 1
+        set_default_intra_jobs(3)
+        try:
+            assert parse_engine_options({}).intra_jobs == 3
+            # Explicit params always beat the process default.
+            assert parse_engine_options({"intra_jobs": 2}).intra_jobs == 2
+        finally:
+            set_default_intra_jobs(1)
+        assert get_default_intra_jobs() == 1
+
+    @pytest.mark.parametrize("bad", (0, -1, True, 1.5, "2"))
+    def test_parse_rejects_non_positive_int(self, bad):
+        with pytest.raises(PlatformError):
+            parse_engine_options({"intra_jobs": bad})
+
+    @pytest.mark.parametrize("bad", (0, -3, False, "4"))
+    def test_setters_validate(self, bad):
+        with pytest.raises(ClusterConfigError):
+            set_default_intra_jobs(bad)
+        with pytest.raises(ClusterConfigError):
+            parallel_config.set_slot_budget(bad)

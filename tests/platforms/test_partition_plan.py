@@ -1,0 +1,137 @@
+"""Partition-plan invariants and cross-process determinism.
+
+The sharded superstep path leans on :func:`partition_plan` producing
+slices that are disjoint, covering, CSR-boundary-aligned, and — because
+the parent and every shard worker derive the plan independently —
+identical across processes for the same ``(indptr, intra_jobs)``.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import random_graph
+from repro.errors import ClusterConfigError
+from repro.platforms.parallel import PartitionPlan, partition_plan
+
+GRAPHS = {
+    "random": random_graph(250, 1000, seed=21),
+    "sparse": random_graph(64, 40, seed=3),
+    "dense": random_graph(40, 700, seed=9),
+}
+
+
+def _plans():
+    for name, graph in GRAPHS.items():
+        for k in (1, 2, 3, 7, 16):
+            yield name, graph, k
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize(
+        "name,graph,k", list(_plans()), ids=lambda p: str(p)
+    )
+    def test_disjoint_covering_monotone(self, name, graph, k):
+        plan = partition_plan(graph.indptr, k)
+        n = graph.num_vertices
+        bounds = plan.bounds
+        assert bounds[0] == 0
+        assert bounds[-1] == n
+        assert np.all(np.diff(bounds) >= 0)
+        assert plan.num_shards == max(1, min(k, n))
+        # Every vertex lands in exactly one shard.
+        owner = np.zeros(n, dtype=np.int64)
+        for i in range(plan.num_shards):
+            lo, hi = plan.vertex_range(i)
+            owner[lo:hi] += 1
+        assert np.all(owner == 1)
+
+    @pytest.mark.parametrize(
+        "name,graph,k", list(_plans()), ids=lambda p: str(p)
+    )
+    def test_slot_bounds_respect_csr(self, name, graph, k):
+        plan = partition_plan(graph.indptr, k)
+        # Slot ranges are exactly the CSR ranges of the vertex slices:
+        # no edge segment is ever split across shards.
+        assert np.array_equal(
+            plan.slot_bounds, graph.indptr[plan.bounds]
+        )
+        total = 0
+        for i in range(plan.num_shards):
+            lo, hi = plan.slot_range(i)
+            assert lo == int(graph.indptr[plan.vertex_range(i)[0]])
+            assert hi == int(graph.indptr[plan.vertex_range(i)[1]])
+            total += hi - lo
+        assert total == int(graph.indptr[-1])
+
+    def test_split_points_slices_reconcat(self):
+        graph = GRAPHS["random"]
+        plan = partition_plan(graph.indptr, 4)
+        frontier = np.unique(
+            np.random.default_rng(7).integers(
+                0, graph.num_vertices, size=90
+            )
+        )
+        cuts = plan.split_points(frontier)
+        slices = [
+            frontier[cuts[i]:cuts[i + 1]] for i in range(plan.num_shards)
+        ]
+        assert np.array_equal(np.concatenate(slices), frontier)
+        for i, chunk in enumerate(slices):
+            lo, hi = plan.vertex_range(i)
+            assert np.all((chunk >= lo) & (chunk < hi))
+
+    def test_more_shards_than_vertices_clamps(self):
+        graph = random_graph(5, 6, seed=1)
+        plan = partition_plan(graph.indptr, 64)
+        assert plan.num_shards == 5
+
+    def test_validation(self):
+        graph = GRAPHS["sparse"]
+        with pytest.raises(ClusterConfigError):
+            partition_plan(graph.indptr, 0)
+        with pytest.raises(ClusterConfigError):
+            partition_plan(graph.indptr, True)
+        with pytest.raises(ClusterConfigError):
+            partition_plan(np.empty((0,), dtype=np.int64), 2)
+        with pytest.raises(ClusterConfigError):
+            PartitionPlan(
+                bounds=np.array([1, 4], dtype=np.int64),
+                slot_bounds=np.array([0, 9], dtype=np.int64),
+            )
+        with pytest.raises(ClusterConfigError):
+            PartitionPlan(
+                bounds=np.array([0, 5, 3], dtype=np.int64),
+                slot_bounds=np.array([0, 2, 9], dtype=np.int64),
+            )
+
+
+class TestCrossProcessDeterminism:
+    def test_identical_plan_in_subprocess(self, tmp_path):
+        """A fresh interpreter derives the same cut points from the same
+        CSR — the property that lets parent and shard workers agree on
+        ownership without any coordination messages."""
+        graph = GRAPHS["random"]
+        indptr_path = tmp_path / "indptr.npy"
+        np.save(indptr_path, graph.indptr)
+        script = (
+            "import numpy as np\n"
+            "from repro.platforms.parallel import partition_plan\n"
+            f"indptr = np.load({str(indptr_path)!r})\n"
+            "for k in (1, 2, 3, 7, 16):\n"
+            "    plan = partition_plan(indptr, k)\n"
+            "    print(plan.bounds.tolist(), plan.slot_bounds.tolist())\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        local_lines = []
+        for k in (1, 2, 3, 7, 16):
+            plan = partition_plan(graph.indptr, k)
+            local_lines.append(
+                f"{plan.bounds.tolist()} {plan.slot_bounds.tolist()}"
+            )
+        assert result.stdout.strip().splitlines() == local_lines
