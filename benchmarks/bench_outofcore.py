@@ -68,7 +68,8 @@ def _fingerprint(outcome) -> str:
 def run_leg(store_root: str, dataset_format: str, platforms: list[str],
             *, jobs: int, scale_divisor: int) -> dict:
     """Execute one leg in *this* process and return its measurements."""
-    from repro.bench import CaseSpec, run_cases
+    from repro.bench.pool import run_cases
+    from repro.bench.runner import CaseSpec
     from repro.bench.store import ArtifactStore, set_artifact_store
     from repro.datagen import set_dataset_format
 

@@ -1,0 +1,208 @@
+"""Service load generator: thousands of Zipfian tenant submissions.
+
+Simulates a realistic multi-tenant benchmark-as-a-service workload
+against the in-process :class:`~repro.service.server.BenchmarkService`
+(no TCP, so the numbers measure the service — scheduling, dedupe,
+admission, store integration — not socket framing):
+
+* **64 tenants** submit **1024 single-case jobs** drawn Zipfian
+  (``s = 1.2``) from a 32-case grid (4 platforms × 8 algorithms on
+  S8-Std at ``scale_divisor=500``) — a few hot cases dominate, exactly
+  the popularity skew that makes dedupe + caching pay.
+* **cold leg** — fresh store, fresh session: the service must execute
+  each requested unique case once and absorb every duplicate through
+  in-flight dedupe and the session memo.
+* **warm leg** — same store, new service generation (memo cleared):
+  every case must be served from the persistent store.  The headline
+  ``service_speedup`` is warm throughput over cold throughput; the
+  acceptance floor is **5x**.
+* **parity** — every unique served outcome is fingerprint-compared to
+  a direct sequential :func:`run_case` execution in a cold session
+  with no store: the service must be invisible in the results.
+
+Records everything in ``benchmarks/out/BENCH_service.json``.  Runs two
+ways: under pytest (asserts the floor + parity) or as a script exiting
+non-zero when the floor is missed.
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.runner import clear_case_cache
+from repro.bench.store import ArtifactStore, set_artifact_store
+from repro.datagen import clear_dataset_cache
+from repro.service import (
+    BenchmarkService,
+    CaseRequest,
+    SubmitRequest,
+    case_key,
+    outcome_fingerprint,
+)
+
+#: Warm service throughput must beat cold by this factor.
+SERVICE_SPEEDUP_FLOOR = 5.0
+
+TENANTS = 64
+SUBMISSIONS = 1024
+ZIPF_S = 1.2
+SCALE_DIVISOR = 500
+JOBS = 4
+
+PLATFORMS = ("Flash", "Grape", "Pregel+", "PowerGraph")
+ALGORITHMS = ("pr", "wcc", "lpa", "sssp", "bc", "cd", "tc", "kc")
+
+
+def _case_pool() -> list[CaseRequest]:
+    """The 32-case grid, ordered hottest-first for the Zipf draw."""
+    return [
+        CaseRequest.make(platform, algorithm, "S8-Std",
+                         scale_divisor=SCALE_DIVISOR)
+        for algorithm in ALGORITHMS
+        for platform in PLATFORMS
+    ]
+
+
+def _workload(seed: int = 7) -> list[SubmitRequest]:
+    """The full submission sequence — identical for both legs."""
+    rng = random.Random(seed)
+    pool = _case_pool()
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(pool))]
+    return [
+        SubmitRequest(
+            tenant=f"tenant-{rng.randrange(TENANTS)}",
+            cases=(rng.choices(pool, weights=weights, k=1)[0],),
+            priority=rng.randint(1, 4),
+        )
+        for _ in range(SUBMISSIONS)
+    ]
+
+
+async def _serve_leg(requests: list[SubmitRequest]):
+    """One service generation processing the whole workload."""
+    async with BenchmarkService(jobs=JOBS) as service:
+        start = time.perf_counter()
+        job_ids = [await service.submit(r) for r in requests]
+        results = await asyncio.gather(
+            *(service.result(job_id) for job_id in job_ids)
+        )
+        elapsed = time.perf_counter() - start
+        metrics = service.metrics()
+    served = {}
+    for request, result in zip(requests, results):
+        for case, outcome in zip(request.cases, result.outcomes):
+            served.setdefault(
+                case_key(case.to_spec()), outcome_fingerprint(outcome)
+            )
+    return elapsed, served, metrics
+
+
+def _fresh_session() -> None:
+    clear_case_cache()
+    clear_dataset_cache()
+
+
+def run_load() -> dict:
+    """Run cold + warm legs, verify parity, persist the JSON."""
+    requests = _workload()
+    assert len(requests) >= 1000, "workload must be >= 1000 submissions"
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-load-") as root:
+        previous = set_artifact_store(ArtifactStore(root))
+        try:
+            _fresh_session()
+            cold_s, cold_served, cold_metrics = asyncio.run(
+                _serve_leg(requests)
+            )
+            _fresh_session()
+            warm_s, warm_served, warm_metrics = asyncio.run(
+                _serve_leg(requests)
+            )
+        finally:
+            set_artifact_store(previous)
+
+    # Parity: direct sequential execution, cold session, no store.
+    set_artifact_store(None)
+    _fresh_session()
+    mismatches = 0
+    checked = {}
+    for case in _case_pool():
+        key = case_key(case.to_spec())
+        if key in cold_served:
+            checked[key] = outcome_fingerprint(case.to_spec().run())
+            if checked[key] != cold_served[key]:
+                mismatches += 1
+    if cold_served != warm_served:
+        mismatches += 1
+
+    results = {
+        "submissions": len(requests),
+        "tenants": TENANTS,
+        "unique_cases_requested": len(cold_served),
+        "grid_cases": len(PLATFORMS) * len(ALGORITHMS),
+        "zipf_s": ZIPF_S,
+        "scale_divisor": SCALE_DIVISOR,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_submissions_per_s": len(requests) / cold_s,
+        "warm_submissions_per_s": len(requests) / warm_s,
+        "service_speedup": cold_s / warm_s,
+        "speedup_floor": SERVICE_SPEEDUP_FLOOR,
+        "cold_executions": cold_metrics["cases"]["executions"],
+        "cold_dedup_hits": cold_metrics["cases"]["dedup_hits"],
+        "warm_store_hits": warm_metrics["store"]["hits"],
+        "fingerprint_mismatches": mismatches,
+        "parity": mismatches == 0,
+    }
+
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "benchmarks/out"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_service.json"
+    path.write_text(json.dumps(results, indent=2), encoding="utf-8")
+
+    print(f"service load: {len(requests)} submissions from {TENANTS} "
+          f"tenants over {results['unique_cases_requested']} unique cases "
+          f"(cpu_count={results['cpu_count']}):")
+    print(f"  cold: {cold_s:.2f}s "
+          f"({results['cold_submissions_per_s']:.0f} submissions/s, "
+          f"{results['cold_executions']} executions)")
+    print(f"  warm: {warm_s:.2f}s "
+          f"({results['warm_submissions_per_s']:.0f} submissions/s, "
+          f"{results['warm_store_hits']} store hits)")
+    print(f"  speedup: {results['service_speedup']:.1f}x "
+          f"(floor {SERVICE_SPEEDUP_FLOOR:.0f}x), "
+          f"parity={'ok' if results['parity'] else 'BROKEN'}")
+    print(f"wrote {path}")
+    return results
+
+
+def test_service_load(regen):
+    """Warm service throughput must beat cold >= 5x with bit-identical
+    outcomes (parity computed inside the run)."""
+    results = regen(lambda: run_load())
+    assert results["parity"], "served outcomes diverge from direct run_case"
+    assert results["service_speedup"] >= SERVICE_SPEEDUP_FLOOR
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args()
+    results = run_load()
+    if not results["parity"]:
+        raise SystemExit("served outcomes diverge from direct run_case")
+    if results["service_speedup"] < SERVICE_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"warm service speedup {results['service_speedup']:.2f}x below "
+            f"the {SERVICE_SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

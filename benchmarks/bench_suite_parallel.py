@@ -31,7 +31,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench import CaseSpec, clear_case_cache, run_cases
+from repro.bench.pool import run_cases
+from repro.bench.runner import CaseSpec, clear_case_cache
 from repro.bench.store import ArtifactStore, set_artifact_store
 from repro.datagen import clear_dataset_cache
 from repro.platforms import all_platforms

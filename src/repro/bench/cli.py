@@ -10,6 +10,8 @@ corresponding tables/series; results are also written under
     repro-bench fig10 --jobs 4                  # parallel case executor
     repro-bench fig10 --cache-dir ~/.cache/rb   # persistent artifact cache
     repro-bench timing --trace out.json   # Chrome/Perfetto trace
+    repro-bench fig10 --profile bench.toml      # execution profile (TOML)
+    repro-bench serve --port 8642 --jobs 4      # multi-tenant service
     repro-bench all
 
 ``--jobs N`` fans independent benchmark cases over N worker processes
@@ -18,6 +20,12 @@ finished case outcomes persist across invocations in a
 content-addressed store (:mod:`repro.bench.store`).  Neither changes
 any number in any table — outcomes are bit-identical to a sequential
 cold run; see ``docs/benchmarking.md``.
+
+Execution knobs resolve through one
+:class:`~repro.bench.execprofile.ExecutionProfile` with precedence
+``CLI > $REPRO_* env > --profile TOML > defaults`` (see
+``docs/service.md``).  ``serve`` starts the multi-tenant benchmark
+service (:mod:`repro.service`) on ``--host``/``--port``.
 """
 
 from __future__ import annotations
@@ -425,8 +433,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*_COMMANDS, "all", "list"],
-        help="which artifact to regenerate",
+        choices=[*_COMMANDS, "all", "list", "serve"],
+        help="which artifact to regenerate, or 'serve' to start the "
+             "multi-tenant benchmark service",
     )
     parser.add_argument(
         "--scale-divisor",
@@ -434,6 +443,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="override the dataset down-scaling factor "
              "(default 2000; smaller = bigger graphs)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=os.environ.get("REPRO_PROFILE"),
+        help="TOML execution profile supplying the knobs below "
+             "(default $REPRO_PROFILE); precedence is CLI > $REPRO_* "
+             "env > profile > defaults",
     )
     parser.add_argument(
         "--trace",
@@ -447,11 +464,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help="fan independent benchmark cases over N worker processes "
-             "(default 1 = sequential); outcomes are bit-identical at "
-             "any N",
+             "(default 1 = sequential; for 'serve', the executor "
+             "width); outcomes are bit-identical at any N",
     )
     parser.add_argument(
         "--intra-jobs",
@@ -467,7 +484,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--cache-dir",
         metavar="PATH",
-        default=os.environ.get("REPRO_CACHE_DIR"),
+        default=None,
         help="persistent content-addressed artifact cache shared across "
              "processes and invocations (default $REPRO_CACHE_DIR; "
              "unset = no persistence)",
@@ -489,11 +506,39 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--dataset-format",
         choices=["memory", "mmap"],
-        default="memory",
-        help="dataset container format: 'memory' builds graphs in RAM, "
-             "'mmap' generates them to on-disk CSR in bounded memory "
-             "and serves numpy.memmap views (bit-identical outcomes; "
-             "see docs/scaling.md)",
+        default=None,
+        help="dataset container format: 'memory' (default) builds "
+             "graphs in RAM, 'mmap' generates them to on-disk CSR in "
+             "bounded memory and serves numpy.memmap views "
+             "(bit-identical outcomes; see docs/scaling.md)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        metavar="N",
+        help="serve: TCP port to bind (default 8642; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--serve-mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="serve: case executor mode (default thread; process uses "
+             "pool workers)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="BYTES",
+        help="serve: cap the sum of in-flight admitted working sets "
+             "(default unlimited; concurrency is still bounded by "
+             "--jobs)",
     )
     args = parser.parse_args(argv)
 
@@ -502,16 +547,37 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
-    store = _configure_harness(args)
+    from repro.bench.execprofile import resolve_profile
+    from repro.errors import ExecutionProfileError
+
     try:
-        if args.trace is None:
+        profile = resolve_profile(
+            {
+                "jobs": args.jobs,
+                "intra_jobs": args.intra_jobs,
+                "cache_dir": args.cache_dir,
+                "no_cache": args.no_cache,
+                "dataset_cache_size": args.dataset_cache_size,
+                "dataset_format": args.dataset_format,
+                "trace": args.trace,
+            },
+            profile_path=args.profile,
+        )
+    except ExecutionProfileError as exc:
+        raise SystemExit(f"repro-bench: {exc}") from None
+
+    store = _configure_harness(profile)
+    try:
+        if args.experiment == "serve":
+            code = _serve(args, profile)
+        elif profile.trace is None:
             code = _dispatch(args)
         else:
             from repro import obs
 
             with obs.tracing() as tracer:
                 code = _dispatch(args)
-            path = Path(args.trace)
+            path = Path(profile.trace)
             if path.suffix == ".jsonl":
                 path.write_text(obs.to_jsonl(tracer), encoding="utf-8")
             else:
@@ -524,39 +590,50 @@ def main(argv: list[str] | None = None) -> int:
     return code
 
 
-def _configure_harness(args):
-    """Install the pool default and the persistent store for this run.
+def _serve(args, profile) -> int:
+    """Run the multi-tenant benchmark service until a shutdown op."""
+    import asyncio
 
-    Returns the installed :class:`~repro.bench.store.ArtifactStore` (or
+    from repro.service.server import run_service
+
+    asyncio.run(
+        run_service(
+            jobs=profile.jobs,
+            mode=args.serve_mode,
+            host=args.host,
+            port=args.port,
+            memory_budget_bytes=args.memory_budget,
+        )
+    )
+    return 0
+
+
+def _configure_harness(profile):
+    """Install the resolved execution profile for this run.
+
+    Takes an :class:`~repro.bench.execprofile.ExecutionProfile` and
+    returns the installed :class:`~repro.bench.store.ArtifactStore` (or
     ``None``) so :func:`main` can print its stats line and uninstall it.
     """
     from repro.bench import pool, store as store_mod
     from repro.datagen.catalog import set_dataset_cache_size, set_dataset_format
+    from repro.platforms.parallel.config import set_default_intra_jobs
 
-    if args.jobs < 1:
-        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
-    pool.set_default_jobs(args.jobs)
-    if args.intra_jobs is not None:
-        from repro.platforms.parallel.config import set_default_intra_jobs
-
-        if args.intra_jobs < 1:
-            raise SystemExit(
-                f"--intra-jobs must be >= 1, got {args.intra_jobs}"
-            )
-        set_default_intra_jobs(args.intra_jobs)
-    if args.dataset_cache_size is not None:
-        set_dataset_cache_size(args.dataset_cache_size)
-    set_dataset_format(args.dataset_format)
+    pool.set_default_jobs(profile.jobs)
+    set_default_intra_jobs(profile.intra_jobs)
+    if profile.dataset_cache_size is not None:
+        set_dataset_cache_size(profile.dataset_cache_size)
+    set_dataset_format(profile.dataset_format)
     store = None
-    if args.no_cache:
+    if profile.no_cache:
         # Also drop any ambient store installed by embedding code: the
         # run must be cache-free, and teardown must not print a stats
         # line (previously one with all-zero counters could appear).
         store_mod.set_artifact_store(None)
-    elif args.cache_dir:
-        store = store_mod.ArtifactStore(args.cache_dir)
+    elif profile.cache_dir:
+        store = store_mod.ArtifactStore(profile.cache_dir)
         store_mod.set_artifact_store(store)
-    elif args.dataset_format == "mmap":
+    elif profile.dataset_format == "mmap":
         # mmap shipping needs a store the pool workers share, so each
         # dataset is generated once and mmapped everywhere; without
         # --cache-dir, use a fresh run-scoped directory.

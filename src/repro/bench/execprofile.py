@@ -1,0 +1,217 @@
+"""Execution profiles: one config object for the harness's runtime knobs.
+
+``repro-bench`` grew its execution flags one PR at a time — ``--jobs``,
+``--intra-jobs``, ``--cache-dir``, ``--no-cache``,
+``--dataset-cache-size``, ``--dataset-format``, ``--trace`` — and every
+entry point (CLI, service, benchmarks, CI smoke tools) re-assembled the
+same knobs by hand.  :class:`ExecutionProfile` consolidates them into a
+single frozen value object with **one** precedence rule, applied by
+:func:`resolve_profile`:
+
+    CLI flags  >  ``REPRO_*`` environment variables  >  profile file  >  defaults
+
+Profile files are TOML (stdlib :mod:`tomllib`), either flat or under an
+``[execution]`` table::
+
+    # bench.toml
+    [execution]
+    jobs = 8
+    cache-dir = "benchmarks/cache"
+    dataset-format = "mmap"
+
+Keys may use dashes or underscores.  Unknown keys raise
+:class:`~repro.errors.ExecutionProfileError` — a typo'd knob should
+fail loudly, not silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from repro.errors import ExecutionProfileError
+
+__all__ = ["ExecutionProfile", "load_profile", "resolve_profile", "ENV_PREFIX"]
+
+#: Environment variables are the profile keys upper-cased under this
+#: prefix: ``REPRO_JOBS``, ``REPRO_CACHE_DIR``, ``REPRO_TRACE``, …
+ENV_PREFIX = "REPRO_"
+
+_DATASET_FORMATS = ("memory", "mmap")
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """The harness's runtime execution knobs, as one value object.
+
+    Field semantics match the historical CLI flags exactly:
+
+    * ``jobs`` — pool worker processes (1 = in-process sequential).
+    * ``intra_jobs`` — per-case shard workers (engine-internal).
+    * ``cache_dir`` — persistent artifact-store root (``None`` = no
+      store unless ``no_cache`` decides otherwise at the entry point).
+    * ``no_cache`` — disable the persistent store even if a default
+      cache directory exists.
+    * ``dataset_cache_size`` — in-process dataset LRU size (``None`` =
+      library default).
+    * ``dataset_format`` — ``"memory"`` or ``"mmap"`` container format.
+    * ``trace`` — trace-export path (``None`` = tracing off).
+    """
+
+    jobs: int = 1
+    intra_jobs: int = 1
+    cache_dir: str | None = None
+    no_cache: bool = False
+    dataset_cache_size: int | None = None
+    dataset_format: str = "memory"
+    trace: str | None = None
+
+    def __post_init__(self) -> None:
+        """Validate knob ranges (delayed errors are confusing errors)."""
+        if self.jobs < 1:
+            raise ExecutionProfileError(
+                f"jobs must be >= 1, got {self.jobs}"
+            )
+        if self.intra_jobs < 1:
+            raise ExecutionProfileError(
+                f"intra-jobs must be >= 1, got {self.intra_jobs}"
+            )
+        if self.dataset_cache_size is not None and self.dataset_cache_size < 0:
+            raise ExecutionProfileError(
+                "dataset-cache-size must be >= 0, got "
+                f"{self.dataset_cache_size}"
+            )
+        if self.dataset_format not in _DATASET_FORMATS:
+            raise ExecutionProfileError(
+                f"dataset-format must be one of {_DATASET_FORMATS}, "
+                f"got {self.dataset_format!r}"
+            )
+
+
+_INT_FIELDS = {"jobs", "intra_jobs", "dataset_cache_size"}
+_BOOL_FIELDS = {"no_cache"}
+_FIELD_NAMES = tuple(f.name for f in fields(ExecutionProfile))
+
+
+def _coerce(name: str, value: Any, *, source: str) -> Any:
+    """Coerce one raw knob value (TOML or env string) to its field type."""
+    if value is None:
+        return None
+    if name in _BOOL_FIELDS:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off", ""):
+                return False
+        raise ExecutionProfileError(
+            f"{source}: {name} must be a boolean, got {value!r}"
+        )
+    if name in _INT_FIELDS:
+        if isinstance(value, bool) or not isinstance(value, (int, str)):
+            raise ExecutionProfileError(
+                f"{source}: {name} must be an integer, got {value!r}"
+            )
+        try:
+            return int(value)
+        except ValueError:
+            raise ExecutionProfileError(
+                f"{source}: {name} must be an integer, got {value!r}"
+            ) from None
+    if not isinstance(value, str):
+        raise ExecutionProfileError(
+            f"{source}: {name} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _normalize_keys(raw: Mapping[str, Any], *, source: str) -> dict[str, Any]:
+    """Map dash/underscore keys onto field names; reject unknowns."""
+    out: dict[str, Any] = {}
+    for key, value in raw.items():
+        name = key.replace("-", "_")
+        if name not in _FIELD_NAMES:
+            raise ExecutionProfileError(
+                f"{source}: unknown execution knob {key!r} "
+                f"(known: {', '.join(_FIELD_NAMES)})"
+            )
+        out[name] = _coerce(name, value, source=source)
+    return out
+
+
+def load_profile(path: str | os.PathLike[str]) -> ExecutionProfile:
+    """Load an :class:`ExecutionProfile` from a TOML file.
+
+    Accepts the knobs either at top level or under an ``[execution]``
+    table (other top-level tables are rejected, so a profile cannot
+    silently carry dead configuration).
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+    except FileNotFoundError:
+        raise ExecutionProfileError(f"profile file not found: {path}") from None
+    except tomllib.TOMLDecodeError as exc:
+        raise ExecutionProfileError(f"invalid TOML in {path}: {exc}") from None
+    source = str(path)
+    if "execution" in data:
+        table = data.pop("execution")
+        if not isinstance(table, dict):
+            raise ExecutionProfileError(
+                f"{source}: [execution] must be a table"
+            )
+        if data:
+            raise ExecutionProfileError(
+                f"{source}: unexpected top-level keys besides [execution]: "
+                f"{', '.join(sorted(data))}"
+            )
+        data = table
+    return ExecutionProfile(**_normalize_keys(data, source=source))
+
+
+def _env_overrides(env: Mapping[str, str]) -> dict[str, Any]:
+    """Collect ``REPRO_*`` execution knobs present in ``env``."""
+    out: dict[str, Any] = {}
+    for name in _FIELD_NAMES:
+        raw = env.get(ENV_PREFIX + name.upper())
+        if raw is not None and raw != "":
+            out[name] = _coerce(name, raw, source=ENV_PREFIX + name.upper())
+    return out
+
+
+def resolve_profile(
+    cli: Mapping[str, Any] | None = None,
+    *,
+    profile_path: str | os.PathLike[str] | None = None,
+    env: Mapping[str, str] | None = None,
+) -> ExecutionProfile:
+    """Layer the four knob sources into one final profile.
+
+    ``cli`` maps field names to explicitly-given values — pass ``None``
+    (or omit the key) for flags the user did not type, so defaults
+    never masquerade as choices.  Precedence, lowest to highest:
+    dataclass defaults, the profile file, ``REPRO_*`` environment
+    variables, CLI values.
+    """
+    profile = (
+        load_profile(profile_path) if profile_path is not None
+        else ExecutionProfile()
+    )
+    env_map = os.environ if env is None else env
+    overrides = _env_overrides(env_map)
+    if cli:
+        for key, value in cli.items():
+            name = key.replace("-", "_")
+            if name not in _FIELD_NAMES:
+                raise ExecutionProfileError(
+                    f"CLI: unknown execution knob {key!r}"
+                )
+            if value is not None and value is not False:
+                # argparse store_true gives False for "not typed";
+                # None likewise means the flag was absent.
+                overrides[name] = value
+    return replace(profile, **overrides) if overrides else profile

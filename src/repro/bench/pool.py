@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from repro.bench.runner import CaseOutcome, CaseSpec, memoize_outcome
 from repro.bench.store import ArtifactStore, get_artifact_store, set_artifact_store
 from repro.errors import ClusterConfigError
-from repro.obs import POOL_TASKS, get_tracer, tracing
+from repro.obs import POOL_FALLBACKS, POOL_TASKS, get_tracer, tracing
 from repro.platforms.parallel.config import (
     in_shard_worker,
     in_worker_process,
@@ -68,6 +68,34 @@ def set_default_jobs(jobs: int) -> int:
 def get_default_jobs() -> int:
     """Current default worker count (1 = sequential)."""
     return _DEFAULT_JOBS
+
+
+#: One-time latch for the nested-pool degradation warning, so a grid of
+#: hundreds of cases produces one stderr line, not hundreds.
+_FALLBACK_WARNED = False
+
+
+def _note_pool_fallback(requested_jobs: int) -> None:
+    """Record a nested-pool degradation (``jobs`` forced to 1).
+
+    Bumps the ``pool_fallbacks`` counter when tracing and emits a
+    once-per-process stderr warning, so the degradation is observable
+    both programmatically and interactively.
+    """
+    global _FALLBACK_WARNED
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.add(POOL_FALLBACKS, 1.0)
+    if not _FALLBACK_WARNED:
+        _FALLBACK_WARNED = True
+        import sys
+
+        print(
+            f"repro-bench: nested run_cases(jobs={requested_jobs}) inside a "
+            "pool/shard worker degraded to jobs=1 (fork-bomb guard); "
+            "outcomes are unchanged, only this process's parallelism",
+            file=sys.stderr,
+        )
 
 
 @dataclass(frozen=True)
@@ -227,7 +255,11 @@ def run_cases(
         # worker) asked for another pool.  Nested pools would multiply
         # processes without bound, so degrade to in-process sequential
         # execution — outcome-identical by the pool determinism
-        # contract.
+        # contract.  Surfaced (not silent): the tracer counts the
+        # fallback and the first occurrence per process warns on
+        # stderr, since callers asking for jobs>1 here usually have a
+        # misplaced parallelism knob.
+        _note_pool_fallback(jobs)
         jobs = 1
     if jobs == 1 or len(specs) <= 1:
         return [spec.run() for spec in specs]

@@ -49,6 +49,7 @@ __all__ = [
     "CaseOutcome",
     "CaseSpec",
     "run_case",
+    "resolve_spec",
     "memoize_outcome",
     "clear_case_cache",
     "RED_BAR_CASES",
@@ -168,9 +169,14 @@ class CaseSpec:
 _CASE_CACHE: dict[tuple, CaseOutcome] = {}
 
 
-def _resolve(spec: CaseSpec):
+def resolve_spec(spec: CaseSpec):
     """Resolve a spec's platform object, effective cluster, red-bar flag,
-    and the key shared by the session memo and the persistent store."""
+    and the key shared by the session memo and the persistent store.
+
+    Red-bar promotion and the default cluster happen here, so every
+    consumer — the runner, the pool, and the benchmark service's
+    admission preflight (:mod:`repro.service.scheduler`) — sees the same
+    effective configuration for the same spec."""
     platform = get_platform(spec.platform)
     cluster = spec.cluster or single_machine(32)
     red_bar = False
@@ -191,7 +197,7 @@ def memoize_outcome(spec: CaseSpec, outcome: CaseOutcome) -> None:
     workers produced, so follow-up sequential code (re-pricing sweeps,
     summary tables) hits the memo instead of re-executing.
     """
-    _, _, _, key = _resolve(spec)
+    _, _, _, key = resolve_spec(spec)
     _CASE_CACHE[key] = outcome
 
 
@@ -223,7 +229,7 @@ def run_case(
         scale_divisor=scale_divisor, apply_red_bar=apply_red_bar,
         weighted=weighted, **params,
     )
-    platform, cluster, red_bar, key = _resolve(spec)
+    platform, cluster, red_bar, key = resolve_spec(spec)
     tracer = get_tracer()
     cached = _CASE_CACHE.get(key)
     if cached is not None:

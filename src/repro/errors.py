@@ -69,3 +69,20 @@ class BenchmarkError(ReproError):
 class ObservabilityError(ReproError):
     """Raised by the tracing/metrics layer for misuse of the span or
     counter APIs (unknown counter names, spans closed out of order)."""
+
+
+class ServiceError(ReproError):
+    """Raised by the multi-tenant benchmark service for invalid
+    submissions, unknown job ids, or misuse of the service lifecycle."""
+
+
+class SchemaError(ServiceError):
+    """Raised when a service request or response violates the versioned
+    wire schema (unsupported ``api_version``, malformed payloads,
+    non-encodable parameter values)."""
+
+
+class ExecutionProfileError(ReproError):
+    """Raised for invalid execution-profile configuration (bad TOML,
+    unknown keys, out-of-range values) when resolving the harness knobs
+    from CLI flags, environment, and profile files."""

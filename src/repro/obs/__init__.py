@@ -35,7 +35,12 @@ from repro.obs.counters import (
     KERNEL_CACHE_MISSES,
     MSG_BYTES,
     MSG_COUNT,
+    POOL_FALLBACKS,
     POOL_TASKS,
+    SERVICE_CASES_DONE,
+    SERVICE_DEDUP_HITS,
+    SERVICE_REJECTED,
+    SERVICE_SUBMITS,
     SHARD_TASKS,
     STORE_HITS,
     STORE_MISSES,
@@ -93,9 +98,14 @@ __all__ = [
     "STORE_MISSES",
     "STORE_PUTS",
     "POOL_TASKS",
+    "POOL_FALLBACKS",
     "SHARD_TASKS",
     "KERNEL_CACHE_HITS",
     "KERNEL_CACHE_MISSES",
+    "SERVICE_SUBMITS",
+    "SERVICE_DEDUP_HITS",
+    "SERVICE_REJECTED",
+    "SERVICE_CASES_DONE",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",

@@ -46,6 +46,11 @@ __all__ = [
     "SHARD_TASKS",
     "KERNEL_CACHE_HITS",
     "KERNEL_CACHE_MISSES",
+    "POOL_FALLBACKS",
+    "SERVICE_SUBMITS",
+    "SERVICE_DEDUP_HITS",
+    "SERVICE_REJECTED",
+    "SERVICE_CASES_DONE",
     "CounterRegistry",
     "note_superstep",
 ]
@@ -107,6 +112,20 @@ SHARD_TASKS = "shard_tasks"
 KERNEL_CACHE_HITS = "kernel_cache_hits"
 #: Derived-kernel lookups that had to rebuild the artifact.
 KERNEL_CACHE_MISSES = "kernel_cache_misses"
+#: ``run_cases(jobs>1)`` calls that degraded to sequential execution
+#: because they ran inside a pool or shard worker (nested-pool guard).
+POOL_FALLBACKS = "pool_fallbacks"
+#: Benchmark cases submitted to the multi-tenant service
+#: (``repro.service.BenchmarkService.submit``).
+SERVICE_SUBMITS = "service_submits"
+#: Service cases that attached to an identical in-flight execution
+#: instead of dispatching their own.
+SERVICE_DEDUP_HITS = "service_dedup_hits"
+#: Service cases rejected by the admission preflight (``_admit`` said
+#: the case cannot fit its cluster, is unsupported, or is misconfigured).
+SERVICE_REJECTED = "service_rejected"
+#: Service cases completed (served from memo, store, dedup, or executed).
+SERVICE_CASES_DONE = "service_cases_done"
 
 #: The unified counter vocabulary: name -> one-line definition naming the
 #: subsystem that previously owned the quantity.
@@ -187,6 +206,26 @@ VOCABULARY: dict[str, str] = {
     KERNEL_CACHE_MISSES: (
         "Derived-kernel lookups that rebuilt the artifact on a cache "
         "miss."
+    ),
+    POOL_FALLBACKS: (
+        "run_cases(jobs>1) calls degraded to sequential execution by "
+        "the nested-pool guard (repro.bench.pool)."
+    ),
+    SERVICE_SUBMITS: (
+        "Benchmark cases submitted to the multi-tenant service "
+        "(repro.service.BenchmarkService)."
+    ),
+    SERVICE_DEDUP_HITS: (
+        "Service cases deduplicated onto an identical in-flight "
+        "execution (repro.service.server)."
+    ),
+    SERVICE_REJECTED: (
+        "Service cases rejected by the _admit() admission preflight "
+        "(repro.service.scheduler)."
+    ),
+    SERVICE_CASES_DONE: (
+        "Service cases completed, whatever layer served them "
+        "(repro.service.BenchmarkService)."
     ),
 }
 

@@ -235,8 +235,28 @@ class Platform:
         flakiness, not capacity); used by the stress-test experiment,
         where only the can-it-fit outcome matters.
         """
+        self.admission_bytes(algorithm, graph, cluster, **params)
+
+    def admission_bytes(
+        self, algorithm: str, graph: Graph, cluster: ClusterSpec, **params
+    ) -> float:
+        """Working-set bytes the admission check charges, without executing.
+
+        The public face of :meth:`_admit`: validates the configuration
+        and memory exactly as :meth:`run` would before execution, and
+        returns the admitted working-set size in bytes.  The benchmark
+        service (:mod:`repro.service`) uses this as its capacity gate —
+        scheduling a case only when the sum of in-flight admitted bytes
+        fits the service budget — and :meth:`check_capacity` delegates
+        here.
+
+        Raises :class:`~repro.errors.UnsupportedAlgorithmError`,
+        :class:`~repro.errors.PlatformError`, or
+        :class:`~repro.errors.OutOfMemoryError` when the case cannot be
+        admitted.
+        """
         options = parse_engine_options(params)
-        self._admit(algorithm, graph, cluster, options)
+        return self._admit(algorithm, graph, cluster, options)
 
     # -- subclass hooks ---------------------------------------------------
 

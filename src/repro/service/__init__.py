@@ -1,0 +1,55 @@
+"""`repro.service` — the multi-tenant asyncio benchmark server.
+
+Turns the one-shot bench harness into a long-running service: many
+clients submit benchmark cases concurrently over a versioned request
+schema (:mod:`repro.service.schema`), a weighted-round-robin scheduler
+with admission control shares capacity fairly across tenants
+(:mod:`repro.service.scheduler`), identical cases are deduplicated
+against in-flight executions, the session memo, and the persistent
+:class:`~repro.bench.store.ArtifactStore`, and the obs layer is exposed
+as a live JSON metrics endpoint (:mod:`repro.service.server`).
+
+Start one programmatically::
+
+    async with BenchmarkService(jobs=4) as service:
+        job_id = await service.submit(request)
+        result = await service.result(job_id)
+
+or over TCP with ``repro-bench serve``.  See ``docs/service.md``.
+"""
+
+from repro.service.schema import (
+    API_VERSION,
+    CaseRequest,
+    JobResult,
+    JobStatus,
+    SubmitRequest,
+    case_key,
+    outcome_fingerprint,
+    request_key,
+    submit_request_from_wire,
+)
+from repro.service.scheduler import (
+    AdmissionTicket,
+    WeightedRoundRobin,
+    preflight_case,
+)
+from repro.service.server import BenchmarkService, ServiceServer, run_service
+
+__all__ = [
+    "API_VERSION",
+    "AdmissionTicket",
+    "BenchmarkService",
+    "CaseRequest",
+    "JobResult",
+    "JobStatus",
+    "ServiceServer",
+    "SubmitRequest",
+    "WeightedRoundRobin",
+    "case_key",
+    "outcome_fingerprint",
+    "preflight_case",
+    "request_key",
+    "run_service",
+    "submit_request_from_wire",
+]

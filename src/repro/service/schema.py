@@ -1,0 +1,397 @@
+"""Versioned request/response schema for the benchmark service.
+
+The service, the pool, and the CLI speak one contract: a
+:class:`SubmitRequest` carries an explicit ``api_version`` plus a tuple
+of :class:`CaseRequest`\\ s (the wire twin of
+:class:`~repro.bench.runner.CaseSpec`), and the service answers with
+:class:`JobStatus` / :class:`JobResult`.  Everything here is a frozen
+dataclass with two renderings:
+
+* **canonical content keys** — :func:`request_key` / :func:`case_key`
+  reuse :func:`repro.bench.store.canonical_key`, so a request is
+  addressed exactly the way store artifacts are: same canonicalization,
+  same SHA-256 discipline, same ``STORE_VERSION`` invalidation story.
+* **canonical JSON** — :func:`canonical_json` (sorted keys, minimal
+  separators) over the ``to_wire()`` dict of each dataclass, giving the
+  TCP endpoint a deterministic line format.
+
+Outcome identity travels as a :func:`outcome_fingerprint` — the SHA-256
+of the pickled :class:`~repro.bench.runner.CaseOutcome` — so a client
+(or the load-generator benchmark) can assert that a served outcome is
+bit-identical to a direct :func:`~repro.bench.runner.run_case`
+execution without shipping WorkTraces over the wire.
+
+Versioning: ``api_version`` is ``"<major>.<minor>"``.  A request is
+accepted iff its major version matches :data:`API_MAJOR`; minor
+versions are additive (unknown *optional* fields are ignored on
+decode).  Bump :data:`API_VERSION` when the contract changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.bench.runner import CaseOutcome, CaseSpec
+from repro.bench.store import canonical_key
+from repro.cluster.spec import ClusterSpec
+from repro.errors import SchemaError
+
+__all__ = [
+    "API_VERSION",
+    "API_MAJOR",
+    "CaseRequest",
+    "SubmitRequest",
+    "JobStatus",
+    "JobResult",
+    "canonical_json",
+    "check_api_version",
+    "request_key",
+    "case_key",
+    "outcome_fingerprint",
+    "outcome_to_wire",
+    "submit_request_from_wire",
+]
+
+#: The service API version this code speaks, ``"<major>.<minor>"``.
+API_VERSION = "1.0"
+
+#: Major version accepted by :func:`check_api_version`.
+API_MAJOR = 1
+
+#: JSON-encodable scalar types allowed in wire-level case params.
+_WIRE_SCALARS = (str, int, float, bool)
+
+
+def check_api_version(version: object) -> str:
+    """Validate a request's ``api_version`` against :data:`API_MAJOR`.
+
+    Returns the version string when compatible; raises
+    :class:`~repro.errors.SchemaError` for missing, malformed, or
+    major-incompatible versions.
+    """
+    if not isinstance(version, str) or not version:
+        raise SchemaError(
+            f"api_version must be a non-empty string, got {version!r}"
+        )
+    major, _, minor = version.partition(".")
+    if not major.isdigit() or not (minor == "" or minor.isdigit()):
+        raise SchemaError(f"malformed api_version {version!r}")
+    if int(major) != API_MAJOR:
+        raise SchemaError(
+            f"unsupported api_version {version!r}; this service speaks "
+            f"{API_VERSION} (major {API_MAJOR})"
+        )
+    return version
+
+
+def canonical_json(payload: dict) -> str:
+    """Render a wire dict deterministically: sorted keys, no whitespace.
+
+    Two equal payloads always produce byte-identical lines, so the TCP
+    protocol (and any log of it) is diffable and replayable.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class CaseRequest:
+    """The wire twin of :class:`~repro.bench.runner.CaseSpec`.
+
+    Field-for-field the same request a :class:`CaseSpec` captures —
+    red-bar promotion and the default cluster stay resolved at run
+    time.  ``params`` is the same sorted item tuple; wire encoding
+    restricts param values to JSON scalars (in-process callers may pass
+    anything a ``CaseSpec`` accepts).
+    """
+
+    platform: str
+    algorithm: str
+    dataset: str
+    cluster: ClusterSpec | None = None
+    scale_divisor: int | None = None
+    apply_red_bar: bool = True
+    weighted: bool = False
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, platform: str, algorithm: str, dataset: str,
+             **kwargs) -> "CaseRequest":
+        """Build a request with ``CaseSpec.make``'s keyword surface."""
+        return cls.from_spec(CaseSpec.make(platform, algorithm, dataset,
+                                           **kwargs))
+
+    @classmethod
+    def from_spec(cls, spec: CaseSpec) -> "CaseRequest":
+        """Wrap an existing spec without copying semantics."""
+        return cls(
+            platform=spec.platform,
+            algorithm=spec.algorithm,
+            dataset=spec.dataset,
+            cluster=spec.cluster,
+            scale_divisor=spec.scale_divisor,
+            apply_red_bar=spec.apply_red_bar,
+            weighted=spec.weighted,
+            params=spec.params,
+        )
+
+    def to_spec(self) -> CaseSpec:
+        """The runnable :class:`CaseSpec` this request describes."""
+        return CaseSpec(
+            platform=self.platform,
+            algorithm=self.algorithm,
+            dataset=self.dataset,
+            cluster=self.cluster,
+            scale_divisor=self.scale_divisor,
+            apply_red_bar=self.apply_red_bar,
+            weighted=self.weighted,
+            params=self.params,
+        )
+
+    def to_wire(self) -> dict:
+        """JSON-encodable dict; raises on non-scalar param values."""
+        for name, value in self.params:
+            if value is not None and not isinstance(value, _WIRE_SCALARS):
+                raise SchemaError(
+                    f"case param {name!r} has non-wire value {value!r}; "
+                    "wire params must be JSON scalars"
+                )
+        payload: dict[str, Any] = {
+            "platform": self.platform,
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "scale_divisor": self.scale_divisor,
+            "apply_red_bar": self.apply_red_bar,
+            "weighted": self.weighted,
+            "params": dict(self.params),
+        }
+        if self.cluster is not None:
+            payload["cluster"] = {
+                f.name: getattr(self.cluster, f.name)
+                for f in fields(self.cluster)
+            }
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: object) -> "CaseRequest":
+        """Decode a wire dict; unknown optional keys are ignored."""
+        if not isinstance(payload, dict):
+            raise SchemaError(f"case must be an object, got {payload!r}")
+        try:
+            platform = payload["platform"]
+            algorithm = payload["algorithm"]
+            dataset = payload["dataset"]
+        except KeyError as exc:
+            raise SchemaError(f"case is missing required key {exc}") from None
+        for what, value in (("platform", platform),
+                            ("algorithm", algorithm),
+                            ("dataset", dataset)):
+            if not isinstance(value, str) or not value:
+                raise SchemaError(
+                    f"case {what} must be a non-empty string, got {value!r}"
+                )
+        cluster = None
+        if payload.get("cluster") is not None:
+            raw = payload["cluster"]
+            if not isinstance(raw, dict):
+                raise SchemaError(f"case cluster must be an object: {raw!r}")
+            known = {f.name for f in fields(ClusterSpec)}
+            unknown = set(raw) - known
+            if unknown:
+                raise SchemaError(
+                    f"unknown cluster keys {sorted(unknown)}; "
+                    f"valid: {sorted(known)}"
+                )
+            cluster = ClusterSpec(**raw)
+        params_raw = payload.get("params") or {}
+        if not isinstance(params_raw, dict):
+            raise SchemaError(f"case params must be an object: {params_raw!r}")
+        for name, value in params_raw.items():
+            if value is not None and not isinstance(value, _WIRE_SCALARS):
+                raise SchemaError(
+                    f"case param {name!r} has non-wire value {value!r}"
+                )
+        scale_divisor = payload.get("scale_divisor")
+        if scale_divisor is not None and (
+            isinstance(scale_divisor, bool)
+            or not isinstance(scale_divisor, int)
+        ):
+            raise SchemaError(
+                f"scale_divisor must be an integer, got {scale_divisor!r}"
+            )
+        return cls(
+            platform=platform,
+            algorithm=algorithm,
+            dataset=dataset,
+            cluster=cluster,
+            scale_divisor=scale_divisor,
+            apply_red_bar=bool(payload.get("apply_red_bar", True)),
+            weighted=bool(payload.get("weighted", False)),
+            params=tuple(sorted(params_raw.items())),
+        )
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One tenant's job: a batch of cases plus scheduling inputs.
+
+    ``priority`` is the tenant's weighted-round-robin weight (an
+    integer ≥ 1; higher = more dispatches per scheduling round, see
+    ``docs/service.md``).  A tenant's weight is updated by every
+    request it submits.
+    """
+
+    tenant: str
+    cases: tuple[CaseRequest, ...]
+    priority: int = 1
+    api_version: str = API_VERSION
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise SchemaError(
+                f"tenant must be a non-empty string, got {self.tenant!r}"
+            )
+        if isinstance(self.priority, bool) or not isinstance(
+            self.priority, int
+        ) or self.priority < 1:
+            raise SchemaError(
+                f"priority must be an integer >= 1, got {self.priority!r}"
+            )
+        if not self.cases:
+            raise SchemaError("a submission needs at least one case")
+        check_api_version(self.api_version)
+
+    def to_wire(self) -> dict:
+        """JSON-encodable dict for the TCP protocol."""
+        return {
+            "api_version": self.api_version,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "cases": [case.to_wire() for case in self.cases],
+        }
+
+
+def submit_request_from_wire(payload: object) -> SubmitRequest:
+    """Decode and validate a submit payload from the wire."""
+    if not isinstance(payload, dict):
+        raise SchemaError(f"submit request must be an object: {payload!r}")
+    version = check_api_version(payload.get("api_version"))
+    cases = payload.get("cases")
+    if not isinstance(cases, (list, tuple)) or not cases:
+        raise SchemaError("submit request needs a non-empty 'cases' array")
+    priority = payload.get("priority", 1)
+    return SubmitRequest(
+        tenant=payload.get("tenant", ""),
+        cases=tuple(CaseRequest.from_wire(c) for c in cases),
+        priority=priority,
+        api_version=version,
+    )
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Where one submitted job stands.
+
+    ``state`` is ``"queued"`` (no case dispatched yet), ``"running"``
+    (some dispatched, not all complete), or ``"done"``.
+    """
+
+    job_id: str
+    tenant: str
+    state: str
+    total_cases: int
+    completed_cases: int
+    api_version: str = API_VERSION
+
+    def to_wire(self) -> dict:
+        """JSON-encodable dict for the TCP protocol."""
+        return {
+            "api_version": self.api_version,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "total_cases": self.total_cases,
+            "completed_cases": self.completed_cases,
+        }
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A finished job: outcomes in submission order, plus fingerprints.
+
+    In-process consumers get the real
+    :class:`~repro.bench.runner.CaseOutcome` objects; the wire form
+    carries per-case summaries with :func:`outcome_fingerprint` digests
+    so remote clients can still assert bit-identity.
+    """
+
+    job_id: str
+    tenant: str
+    outcomes: tuple[CaseOutcome, ...]
+    api_version: str = API_VERSION
+
+    @property
+    def fingerprints(self) -> tuple[str, ...]:
+        """Per-outcome :func:`outcome_fingerprint` digests."""
+        return tuple(outcome_fingerprint(o) for o in self.outcomes)
+
+    def to_wire(self) -> dict:
+        """JSON-encodable dict for the TCP protocol."""
+        return {
+            "api_version": self.api_version,
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "outcomes": [outcome_to_wire(o) for o in self.outcomes],
+        }
+
+
+def request_key(request: SubmitRequest) -> str:
+    """Content key of a submission, in the store's address space.
+
+    Same canonicalization and versioning discipline as stored
+    artifacts: two requests share a key iff they are the same tenant
+    submitting the same cases at the same priority under the same
+    ``STORE_VERSION``.
+    """
+    return canonical_key("service-request", request)
+
+
+def case_key(spec: CaseSpec) -> str:
+    """Content key of one case — the service's dedup identity.
+
+    Two specs share a key iff :func:`~repro.bench.runner.run_case`
+    would treat them as the same execution.
+    """
+    return canonical_key("service-case", spec)
+
+
+def outcome_fingerprint(outcome: CaseOutcome) -> str:
+    """SHA-256 of the pickled outcome — the bit-identity witness.
+
+    Two outcomes fingerprint equal iff their full value graphs
+    (status, metrics, priced runs, WorkTraces, numpy arrays) pickle to
+    the same bytes; the pool determinism suite guarantees this is the
+    same notion of equality the harness tests elsewhere.
+    """
+    return hashlib.sha256(
+        pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+
+
+def outcome_to_wire(outcome: CaseOutcome) -> dict:
+    """Wire summary of one outcome (scalars + fingerprint, no traces)."""
+    return {
+        "platform": outcome.platform,
+        "algorithm": outcome.algorithm,
+        "dataset": outcome.dataset,
+        "status": outcome.status,
+        "seconds": outcome.seconds,
+        "detail": outcome.detail,
+        "red_bar": outcome.red_bar,
+        "attempts": outcome.attempts,
+        "retry_backoff_seconds": outcome.retry_backoff_seconds,
+        "fingerprint": outcome_fingerprint(outcome),
+    }

@@ -8,8 +8,8 @@ from repro.bench import (
     clear_case_cache,
     render_series,
     render_table,
-    run_case,
 )
+from repro.bench.runner import run_case
 from repro.bench.genquality import (
     build_similarity_graphs,
     efficiency_sweep,

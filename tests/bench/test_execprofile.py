@@ -1,0 +1,151 @@
+"""ExecutionProfile tests: TOML loading, env layering, CLI precedence."""
+
+import pytest
+
+from repro.bench.execprofile import (
+    ExecutionProfile,
+    load_profile,
+    resolve_profile,
+)
+from repro.errors import ExecutionProfileError
+
+
+def _write(tmp_path, text, name="profile.toml"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestLoadProfile:
+    def test_flat_keys(self, tmp_path):
+        path = _write(tmp_path, 'jobs = 4\ncache-dir = "/tmp/cache"\n')
+        profile = load_profile(path)
+        assert (profile.jobs, profile.cache_dir) == (4, "/tmp/cache")
+
+    def test_execution_table(self, tmp_path):
+        path = _write(
+            tmp_path,
+            '[execution]\njobs = 2\ndataset_format = "mmap"\n'
+            "no-cache = true\n",
+        )
+        profile = load_profile(path)
+        assert (profile.jobs, profile.dataset_format, profile.no_cache) == \
+            (2, "mmap", True)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = _write(tmp_path, "jbos = 4\n")
+        with pytest.raises(ExecutionProfileError, match="jbos"):
+            load_profile(path)
+
+    def test_stray_toplevel_table_rejected(self, tmp_path):
+        path = _write(tmp_path, "[execution]\njobs = 2\n[other]\nx = 1\n")
+        with pytest.raises(ExecutionProfileError, match="other"):
+            load_profile(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ExecutionProfileError, match="not found"):
+            load_profile(tmp_path / "absent.toml")
+
+    def test_invalid_toml_rejected(self, tmp_path):
+        path = _write(tmp_path, "jobs = = 4\n")
+        with pytest.raises(ExecutionProfileError, match="invalid TOML"):
+            load_profile(path)
+
+    def test_bad_type_rejected(self, tmp_path):
+        path = _write(tmp_path, 'jobs = "four"\n')
+        with pytest.raises(ExecutionProfileError, match="integer"):
+            load_profile(path)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"jobs": 0},
+        {"intra_jobs": 0},
+        {"dataset_cache_size": -1},
+        {"dataset_format": "floppy"},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ExecutionProfileError):
+            ExecutionProfile(**kwargs)
+
+    def test_defaults_are_the_historical_cli_defaults(self):
+        profile = ExecutionProfile()
+        assert profile.jobs == 1
+        assert profile.intra_jobs == 1
+        assert profile.cache_dir is None
+        assert profile.no_cache is False
+        assert profile.dataset_format == "memory"
+        assert profile.trace is None
+
+
+class TestPrecedence:
+    def test_cli_beats_env_beats_profile_beats_defaults(self, tmp_path):
+        path = _write(
+            tmp_path,
+            'jobs = 2\nintra-jobs = 3\ndataset-format = "mmap"\n',
+        )
+        profile = resolve_profile(
+            {"jobs": 8},
+            profile_path=path,
+            env={"REPRO_JOBS": "4", "REPRO_INTRA_JOBS": "5"},
+        )
+        assert profile.jobs == 8            # CLI wins
+        assert profile.intra_jobs == 5      # env beats profile
+        assert profile.dataset_format == "mmap"  # profile beats default
+        assert profile.cache_dir is None    # default survives
+
+    def test_absent_cli_flags_do_not_mask(self, tmp_path):
+        path = _write(tmp_path, "jobs = 6\n")
+        profile = resolve_profile(
+            {"jobs": None, "no_cache": False}, profile_path=path, env={}
+        )
+        assert profile.jobs == 6
+        assert profile.no_cache is False
+
+    def test_env_bool_coercion(self):
+        profile = resolve_profile({}, env={"REPRO_NO_CACHE": "true"})
+        assert profile.no_cache is True
+
+    def test_bad_env_value_rejected(self):
+        with pytest.raises(ExecutionProfileError, match="REPRO_JOBS"):
+            resolve_profile({}, env={"REPRO_JOBS": "many"})
+
+    def test_unknown_cli_knob_rejected(self):
+        with pytest.raises(ExecutionProfileError):
+            resolve_profile({"warp_speed": 9}, env={})
+
+    def test_no_sources_yields_defaults(self):
+        assert resolve_profile({}, env={}) == ExecutionProfile()
+
+
+class TestCliIntegration:
+    def test_profile_flag_drives_harness(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+        cache = tmp_path / "cache"
+        path = _write(tmp_path, f'cache-dir = "{cache}"\n')
+        assert main(["table2", "--profile", str(path)]) == 0
+        assert cache.is_dir()
+        assert "cache: dir=" in capsys.readouterr().err
+
+    def test_cli_overrides_profile(self, tmp_path, capsys, monkeypatch):
+        from repro.bench.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+        profile_cache = tmp_path / "from-profile"
+        cli_cache = tmp_path / "from-cli"
+        path = _write(tmp_path, f'cache-dir = "{profile_cache}"\n')
+        assert main([
+            "table2", "--profile", str(path), "--cache-dir", str(cli_cache),
+        ]) == 0
+        assert cli_cache.is_dir()
+        assert not profile_cache.exists()
+
+    def test_bad_profile_is_a_clean_cli_error(self, tmp_path, monkeypatch):
+        from repro.bench.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path / "out"))
+        path = _write(tmp_path, "warp = 9\n")
+        with pytest.raises(SystemExit, match="warp"):
+            main(["table2", "--profile", str(path)])

@@ -14,9 +14,9 @@ from repro.bench import (
     ArtifactStore,
     CaseSpec,
     clear_case_cache,
-    run_cases,
     set_artifact_store,
 )
+from repro.bench.pool import run_cases
 from repro.datagen import (
     build_dataset,
     clear_dataset_cache,

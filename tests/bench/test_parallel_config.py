@@ -10,7 +10,8 @@ default that the CLI's ``--intra-jobs`` flag sets.
 
 import pytest
 
-from repro.bench import CaseSpec, clear_case_cache, run_cases
+from repro.bench import CaseSpec, clear_case_cache
+from repro.bench.pool import run_cases
 from repro.bench.pool import _worker_init
 from repro.errors import ClusterConfigError, PlatformError
 from repro.platforms.common import parse_engine_options

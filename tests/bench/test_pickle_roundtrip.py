@@ -12,7 +12,8 @@ import pickle
 
 import numpy as np
 
-from repro.bench import CaseSpec, clear_case_cache, run_case
+from repro.bench import CaseSpec, clear_case_cache
+from repro.bench.runner import run_case
 from repro.cluster import single_machine
 from repro.faults import FaultSchedule, MachineCrash, StragglerWindow
 

@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.bench import CaseSpec, clear_case_cache, run_cases, run_grid
+from repro.bench import CaseSpec, clear_case_cache
+from repro.bench.pool import run_cases, run_grid
 from repro.bench.pool import get_default_jobs, set_default_jobs
 from repro.errors import ClusterConfigError
 from repro.faults import FaultSchedule, MachineCrash

@@ -5,7 +5,8 @@ import dataclasses
 
 import pytest
 
-from repro.bench import RETRY_LIMIT, clear_case_cache, run_case
+from repro.bench import RETRY_LIMIT, clear_case_cache
+from repro.bench.runner import run_case
 from repro.cluster import ClusterSpec, single_machine
 from repro.faults import FaultSchedule, MachineCrash
 

@@ -1,0 +1,136 @@
+"""Scheduler tests: weighted round-robin fairness and admission preflight."""
+
+import pytest
+
+from repro.bench.runner import CaseSpec, resolve_spec
+from repro.errors import ServiceError
+from repro.service.scheduler import (
+    AdmissionTicket,
+    WeightedRoundRobin,
+    preflight_case,
+)
+
+
+def _fill(wrr, tenant, weight, items):
+    wrr.ensure_tenant(tenant, weight)
+    for item in items:
+        wrr.push(tenant, item)
+
+
+class TestWeightedRoundRobin:
+    def test_single_tenant_is_fifo(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "a", 1, [1, 2, 3])
+        assert [wrr.pop()[1] for _ in range(3)] == [1, 2, 3]
+        assert wrr.pop() is None
+
+    def test_weights_set_dispatch_ratio(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "heavy", 3, ["h"] * 30)
+        _fill(wrr, "light", 1, ["l"] * 30)
+        first_twelve = [wrr.pop()[0] for _ in range(12)]
+        assert first_twelve.count("heavy") == 9
+        assert first_twelve.count("light") == 3
+
+    def test_no_starvation(self):
+        # Every backlogged tenant gets service each round, whatever the
+        # weight spread.
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "big", 100, ["b"] * 200)
+        _fill(wrr, "small", 1, ["s"] * 5)
+        seen = [wrr.pop()[0] for _ in range(101 * 2)]
+        assert "small" in seen[:101]
+        assert seen.count("small") >= 2
+
+    def test_exhausted_tenant_yields_to_others(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "a", 2, ["a1"])
+        _fill(wrr, "b", 1, ["b1", "b2"])
+        order = [wrr.pop() for _ in range(3)]
+        assert [t for t, _ in order].count("b") == 2
+        assert wrr.pop() is None
+
+    def test_drain_empties_everything(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "a", 2, list(range(5)))
+        _fill(wrr, "b", 1, list(range(5)))
+        assert len(list(wrr.drain())) == 10
+        assert wrr.total_depth() == 0
+
+    def test_depths_and_weights(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "a", 2, [1, 2])
+        _fill(wrr, "b", 1, [3])
+        assert wrr.depths() == {"a": 2, "b": 1}
+        assert wrr.weights() == {"a": 2, "b": 1}
+        assert wrr.total_depth() == 3
+
+    def test_weight_update_does_not_grant_midround_credit(self):
+        wrr = WeightedRoundRobin()
+        _fill(wrr, "a", 1, ["a"] * 10)
+        _fill(wrr, "b", 1, ["b"] * 10)
+        wrr.pop()  # starts a round with 1 credit each
+        wrr.ensure_tenant("a", 50)
+        # Remaining dispatches of this round still honour the old credits.
+        tenants = [wrr.pop()[0] for _ in range(1)]
+        assert tenants == ["b"]
+
+    def test_push_to_unknown_tenant_rejected(self):
+        wrr = WeightedRoundRobin()
+        with pytest.raises(ServiceError):
+            wrr.push("ghost", 1)
+
+    @pytest.mark.parametrize("weight", [0, -2, True, 1.5])
+    def test_bad_weight_rejected(self, weight):
+        wrr = WeightedRoundRobin()
+        with pytest.raises(ServiceError):
+            wrr.ensure_tenant("t", weight)
+
+    def test_empty_scheduler_pops_none(self):
+        assert WeightedRoundRobin().pop() is None
+
+
+class TestPreflight:
+    def test_admits_feasible_case(self):
+        spec = CaseSpec.make("Flash", "pr", "S8-Std", scale_divisor=20000)
+        ticket = preflight_case(spec)
+        assert ticket.admitted
+        assert ticket.bytes > 0
+
+    def test_charge_matches_platform_admission(self):
+        spec = CaseSpec.make("Flash", "pr", "S8-Std", scale_divisor=20000)
+        platform, cluster, _, _ = resolve_spec(spec)
+        from repro.datagen.catalog import build_dataset
+
+        graph = build_dataset("S8-Std", scale_divisor=20000).graph
+        expected = platform.admission_bytes("pr", graph, cluster)
+        assert preflight_case(spec).bytes == expected
+
+    def test_unsupported_algorithm_rejected(self):
+        # G-thinker cannot express PR (the paper's coverage matrix).
+        spec = CaseSpec.make("G-thinker", "pr", "S8-Std", scale_divisor=20000)
+        ticket = preflight_case(spec)
+        assert not ticket.admitted
+        assert ticket.verdict == "unsupported"
+        assert ticket.bytes == 0.0
+
+    def test_config_violation_maps_to_error(self):
+        from repro.cluster.spec import ClusterSpec
+
+        spec = CaseSpec.make(
+            "Ligra", "pr", "S8-Std", scale_divisor=20000,
+            cluster=ClusterSpec(machines=4),
+        )
+        assert preflight_case(spec).verdict == "error"
+
+    def test_red_bar_promotion_applies(self):
+        # Pregel+/kc is a red-bar case: the preflight must see the same
+        # 16-machine promotion run_case applies.
+        spec = CaseSpec.make("Pregel+", "kc", "S8-Std", scale_divisor=20000)
+        _, cluster, red_bar, _ = resolve_spec(spec)
+        assert red_bar and cluster.machines == 16
+        assert preflight_case(spec).admitted
+
+    def test_ticket_properties(self):
+        assert AdmissionTicket("ok", 10.0).admitted
+        assert not AdmissionTicket("oom", 0.0, "too big").admitted

@@ -1,0 +1,144 @@
+"""Schema tests: versioning, wire round-trips, content keys."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import CaseSpec, clear_case_cache
+from repro.cluster.spec import ClusterSpec, single_machine
+from repro.errors import SchemaError
+from repro.service.schema import (
+    API_VERSION,
+    CaseRequest,
+    JobResult,
+    SubmitRequest,
+    canonical_json,
+    case_key,
+    check_api_version,
+    outcome_fingerprint,
+    outcome_to_wire,
+    request_key,
+    submit_request_from_wire,
+)
+
+
+def _case(**kw):
+    kw.setdefault("scale_divisor", 20000)
+    return CaseRequest.make("Flash", "pr", "S8-Std", **kw)
+
+
+class TestVersioning:
+    def test_current_version_accepted(self):
+        assert check_api_version(API_VERSION) == API_VERSION
+
+    def test_minor_versions_compatible(self):
+        assert check_api_version("1.9") == "1.9"
+
+    @pytest.mark.parametrize("bad", ["2.0", "0.1", "", "one", "1.x", None, 1])
+    def test_incompatible_or_malformed_rejected(self, bad):
+        with pytest.raises(SchemaError):
+            check_api_version(bad)
+
+    def test_submit_request_validates_version(self):
+        with pytest.raises(SchemaError):
+            SubmitRequest(tenant="t", cases=(_case(),), api_version="2.0")
+
+
+class TestCaseRequest:
+    def test_round_trips_spec(self):
+        spec = CaseSpec.make("Grape", "sssp", "S8-Dense", weighted=True,
+                             scale_divisor=4000, tolerance=1e-6)
+        assert CaseRequest.from_spec(spec).to_spec() == spec
+
+    def test_wire_round_trip(self):
+        req = _case(weighted=True, cluster=single_machine(8))
+        decoded = CaseRequest.from_wire(json.loads(
+            canonical_json(req.to_wire())
+        ))
+        assert decoded == req
+        assert decoded.to_spec() == req.to_spec()
+
+    def test_wire_round_trip_preserves_case_key(self):
+        req = _case(cluster=ClusterSpec(machines=4, threads_per_machine=16))
+        decoded = CaseRequest.from_wire(req.to_wire())
+        assert case_key(decoded.to_spec()) == case_key(req.to_spec())
+
+    def test_unknown_optional_keys_ignored(self):
+        wire = _case().to_wire()
+        wire["future_minor_field"] = "whatever"
+        assert CaseRequest.from_wire(wire) == _case()
+
+    def test_non_scalar_param_rejected_on_encode(self):
+        req = CaseRequest.make("Flash", "pr", "S8-Std", weights=[1, 2])
+        with pytest.raises(SchemaError):
+            req.to_wire()
+
+    @pytest.mark.parametrize("mutate", [
+        lambda w: w.pop("platform"),
+        lambda w: w.update(platform=""),
+        lambda w: w.update(cluster={"bogus_knob": 3}),
+        lambda w: w.update(params={"x": [1]}),
+        lambda w: w.update(scale_divisor="big"),
+    ])
+    def test_malformed_wire_rejected(self, mutate):
+        wire = _case().to_wire()
+        mutate(wire)
+        with pytest.raises(SchemaError):
+            CaseRequest.from_wire(wire)
+
+
+class TestSubmitRequest:
+    def test_wire_round_trip(self):
+        req = SubmitRequest(tenant="alice", cases=(_case(),), priority=3)
+        decoded = submit_request_from_wire(req.to_wire())
+        assert decoded == req
+
+    def test_empty_cases_rejected(self):
+        with pytest.raises(SchemaError):
+            SubmitRequest(tenant="t", cases=())
+
+    def test_bad_tenant_rejected(self):
+        with pytest.raises(SchemaError):
+            SubmitRequest(tenant="", cases=(_case(),))
+
+    @pytest.mark.parametrize("priority", [0, -1, True, 1.5, "2"])
+    def test_bad_priority_rejected(self, priority):
+        with pytest.raises(SchemaError):
+            SubmitRequest(tenant="t", cases=(_case(),), priority=priority)
+
+    def test_request_key_is_content_addressed(self):
+        a = SubmitRequest(tenant="t", cases=(_case(),), priority=2)
+        b = SubmitRequest(tenant="t", cases=(_case(),), priority=2)
+        c = SubmitRequest(tenant="u", cases=(_case(),), priority=2)
+        assert request_key(a) == request_key(b)
+        assert request_key(a) != request_key(c)
+
+
+class TestOutcomeIdentity:
+    def test_fingerprint_matches_direct_execution(self):
+        clear_case_cache()
+        spec = _case().to_spec()
+        first = spec.run()
+        clear_case_cache()
+        second = spec.run()
+        assert outcome_fingerprint(first) == outcome_fingerprint(second)
+
+    def test_wire_outcome_carries_fingerprint(self):
+        clear_case_cache()
+        outcome = _case().to_spec().run()
+        wire = outcome_to_wire(outcome)
+        assert wire["fingerprint"] == outcome_fingerprint(outcome)
+        assert wire["status"] == "ok"
+        json.dumps(wire)  # must be JSON-encodable
+
+    def test_job_result_fingerprints(self):
+        clear_case_cache()
+        outcome = _case().to_spec().run()
+        result = JobResult(job_id="j", tenant="t", outcomes=(outcome,))
+        assert result.fingerprints == (outcome_fingerprint(outcome),)
+        json.dumps(result.to_wire())
+
+
+def test_canonical_json_is_deterministic():
+    assert canonical_json({"b": 1, "a": [2, {"z": 3, "y": 4}]}) == \
+        canonical_json({"a": [2, {"y": 4, "z": 3}], "b": 1})

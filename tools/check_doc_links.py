@@ -41,6 +41,7 @@ REQUIRED_PAGES = (
     "docs/benchmarking.md",
     "docs/data-generators.md",
     "docs/scaling.md",
+    "docs/service.md",
 )
 
 #: Inline links/images: [text](target) — target ends at the first

@@ -1,0 +1,178 @@
+"""CI smoke: the benchmark service serves a Zipfian tenant burst.
+
+End-to-end over the real TCP protocol, twice:
+
+* **burst 1** — 8 tenants fire a Zipfian burst of submissions (a few
+  hot cases dominate) at a fresh service over an empty store.  The
+  service must dedupe in-flight duplicates, execute each unique case
+  once, populate the store, and shut down cleanly on the ``shutdown``
+  op.
+* **burst 2** — a *new* service generation (session memo cleared, same
+  store) replays the burst.  It must be served from the persistent
+  store — nonzero hit counter — and return outcomes bit-identical to
+  burst 1 **and** to direct :func:`run_case` executions.
+
+Exit status is non-zero on any violation, so CI catches a broken
+scheduler (queue leaks), a broken dedupe (duplicate executions), a
+broken store integration (no warm hits), or a broken schema (fingerprint
+drift).  Stdlib + repro only; run locally with
+
+    PYTHONPATH=src python tools/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import store as store_mod  # noqa: E402
+from repro.bench.runner import clear_case_cache  # noqa: E402
+from repro.service import (  # noqa: E402
+    BenchmarkService,
+    CaseRequest,
+    ServiceServer,
+    SubmitRequest,
+    case_key,
+    outcome_fingerprint,
+)
+
+TENANTS = 8
+SUBMISSIONS = 64
+ZIPF_S = 1.2
+
+#: Unique case pool; Zipf rank 0 is the hottest.
+CASES = (
+    CaseRequest.make("Flash", "pr", "S8-Std", scale_divisor=20000),
+    CaseRequest.make("Grape", "wcc", "S8-Std", scale_divisor=20000),
+    CaseRequest.make("Pregel+", "sssp", "S8-Std", scale_divisor=20000),
+    CaseRequest.make("PowerGraph", "lpa", "S8-Std", scale_divisor=20000),
+    CaseRequest.make("Flash", "wcc", "S8-Std", scale_divisor=20000),
+    CaseRequest.make("Grape", "pr", "S8-Std", scale_divisor=20000),
+)
+
+
+def _zipf_choice(rng: random.Random) -> CaseRequest:
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(CASES))]
+    return rng.choices(CASES, weights=weights, k=1)[0]
+
+
+async def _tenant(host, port, tenant, submissions, rng_seed):
+    """One tenant's client connection: submit a burst, await results."""
+    rng = random.Random(rng_seed)
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def rpc(payload):
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        if not response.get("ok"):
+            raise SystemExit(f"{tenant}: rpc failed: {response}")
+        return response
+
+    fingerprints = {}
+    for _ in range(submissions):
+        case = _zipf_choice(rng)
+        request = SubmitRequest(
+            tenant=tenant, cases=(case,), priority=rng.randint(1, 4)
+        )
+        submitted = await rpc({"op": "submit", "request": request.to_wire()})
+        result = await rpc({"op": "result", "job_id": submitted["job_id"]})
+        outcome = result["result"]["outcomes"][0]
+        if outcome["status"] != "ok":
+            raise SystemExit(f"{tenant}: case failed: {outcome}")
+        fingerprints.setdefault(
+            case_key(case.to_spec()), outcome["fingerprint"]
+        )
+    writer.close()
+    await writer.wait_closed()
+    return fingerprints
+
+
+async def _burst(label: str) -> tuple[dict, dict]:
+    """One service generation serving all tenants; returns
+    (per-case fingerprints, final metrics)."""
+    async with BenchmarkService(jobs=4) as service:
+        server = await ServiceServer(service, port=0).start()
+        host, port = server.address
+        per_tenant = await asyncio.gather(*(
+            _tenant(host, port, f"tenant-{i}", SUBMISSIONS // TENANTS,
+                    rng_seed=100 + i)
+            for i in range(TENANTS)
+        ))
+        metrics = service.metrics()
+
+        # Clean shutdown through the protocol, like a real client.
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(json.dumps({"op": "shutdown"}).encode() + b"\n")
+        await writer.drain()
+        if not json.loads(await reader.readline()).get("ok"):
+            raise SystemExit(f"{label}: shutdown op failed")
+        writer.close()
+        await server.wait_closed()
+
+    fingerprints: dict = {}
+    for tenant_fps in per_tenant:
+        for key, fp in tenant_fps.items():
+            if fingerprints.setdefault(key, fp) != fp:
+                raise SystemExit(
+                    f"{label}: tenants saw different outcomes for {key}"
+                )
+    return fingerprints, metrics
+
+
+def main() -> None:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as root:
+        store_mod.set_artifact_store(store_mod.ArtifactStore(root))
+        clear_case_cache()
+        cold_fps, cold_metrics = asyncio.run(_burst("cold"))
+
+        store = store_mod.get_artifact_store()
+        hits_before = store.stats()["hits"]
+        clear_case_cache()  # new session: memo gone, store remains
+        warm_fps, warm_metrics = asyncio.run(_burst("warm"))
+        warm_hits = store.stats()["hits"] - hits_before
+
+        # Direct parity: a fresh sequential session must fingerprint
+        # identically to what the service served.
+        clear_case_cache()
+        store_mod.set_artifact_store(None)
+        direct_fps = {
+            case_key(c.to_spec()): outcome_fingerprint(c.to_spec().run())
+            for c in CASES
+        }
+
+    for label, metrics in (("cold", cold_metrics), ("warm", warm_metrics)):
+        print(f"{label}: cases={metrics['cases']} "
+              f"queues={metrics['queues']['per_tenant']}")
+        if metrics["cases"]["completed"] != SUBMISSIONS:
+            failures.append(f"{label}: completed != {SUBMISSIONS}")
+        if metrics["queues"]["depth_total"] != 0:
+            failures.append(f"{label}: queue leaked")
+        if metrics["jobs"]["done"] != metrics["jobs"]["submitted"]:
+            failures.append(f"{label}: unfinished jobs at shutdown")
+    print(f"warm store hits: {warm_hits}")
+
+    if warm_hits == 0:
+        failures.append("warm burst never hit the persistent store")
+    if cold_fps != warm_fps:
+        failures.append("cold and warm bursts served different outcomes")
+    executed = {k: v for k, v in direct_fps.items() if k in cold_fps}
+    if executed != cold_fps:
+        failures.append("served outcomes differ from direct run_case")
+
+    if failures:
+        print("FAIL:", *failures, sep="\n  - ")
+        raise SystemExit(1)
+    print("service smoke OK: dedupe, store reuse, parity, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()
