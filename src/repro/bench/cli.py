@@ -268,35 +268,58 @@ def _table1(args) -> None:
 
 
 def _dynamic(args) -> None:
-    from repro.algorithms.incremental import (
-        IncrementalPageRank,
-        replay_stream_wcc,
+    from repro.bench.dynamic_exp import (
+        STREAM_ALGORITHMS,
+        crash_replay_case,
+        run_dynamic_case,
     )
-    from repro.datagen.dynamic import generate_stream
 
-    stream = generate_stream(2000, num_batches=10, seed=3)
-    wcc_report = replay_stream_wcc(stream)
-    warm = IncrementalPageRank(2000, tolerance=1e-10)
-    warm_iters, cold_iters = [], []
-    for t in range(len(stream)):
-        snapshot = stream.snapshot(t)
-        warm.update(snapshot)
-        warm_iters.append(warm.last_iterations)
-        cold = IncrementalPageRank(2000, tolerance=1e-10)
-        cold.update(snapshot, cold_start=True)
-        cold_iters.append(cold.last_iterations)
-    rows = [
-        ["WCC union-find ops", wcc_report["incremental_ops"],
-         wcc_report["recompute_ops"]],
-        ["PR iterations (after batch 1)", float(sum(warm_iters[1:])),
-         float(sum(cold_iters[1:]))],
-    ]
-    emit("dynamic_workload", render_table(
-        "WGB-style dynamic workload: incremental vs recompute "
-        "(10 insertion batches over an FFT-DG stream)",
-        ["Quantity", "Incremental", "Recompute"],
+    profile = getattr(args, "exec_profile", None)
+    batches = profile.dynamic_batches if profile else 8
+    batch_edges = profile.dynamic_batch_edges if profile else 50
+    rows = []
+    for algorithm in STREAM_ALGORITHMS:
+        report = run_dynamic_case(
+            algorithm,
+            num_batches=batches,
+            batch_edges=batch_edges,
+            platform_cases=True,
+        )
+        platform_s = sum(
+            s for t, s in report.platform_case_seconds.items() if t > 0
+        )
+        rows.append([
+            algorithm.upper(),
+            len(report.windows) - 1,
+            round(report.incremental_seconds, 3),
+            round(report.recompute_seconds, 3),
+            round(platform_s, 3),
+            round(report.speedup, 1),
+            report.windows[-1].parity,
+        ])
+    blocks = [render_table(
+        "WGB-style dynamic workload: PEval/IncEval vs per-window "
+        f"recompute ({batches} windows x {batch_edges} edges, "
+        "bulk-loaded FFT-DG stream)",
+        ["Algo", "Windows", "IncEval (s)", "Recompute (s)",
+         "run_cases (s)", "Speedup", "Parity"],
         rows,
+    )]
+    crash = crash_replay_case(
+        "wcc",
+        num_batches=batches,
+        batch_edges=batch_edges,
+        crash_window=min(5, batches),
+    )
+    blocks.append(render_table(
+        "Crash mid-stream: checkpoint + update-log replay (WCC)",
+        ["Crash window", "Replayed windows", "Recovery (s)",
+         "Bit-identical"],
+        [[crash["crash_window"], crash["replayed_windows"],
+          round(crash["recovery_seconds"], 3),
+          str(crash["bit_identical"])]],
     ))
+    emit("dynamic_workload", "\n".join(blocks))
 
 
 def _graph500(args) -> None:
@@ -513,6 +536,22 @@ def main(argv: list[str] | None = None) -> int:
              "(bit-identical outcomes; see docs/scaling.md)",
     )
     parser.add_argument(
+        "--dynamic-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dynamic: incremental windows per stream (default "
+             "$REPRO_DYNAMIC_BATCHES or 8)",
+    )
+    parser.add_argument(
+        "--dynamic-batch-edges",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dynamic: edges per incremental window (default "
+             "$REPRO_DYNAMIC_BATCH_EDGES or 50)",
+    )
+    parser.add_argument(
         "--host",
         default="127.0.0.1",
         help="serve: interface to bind (default 127.0.0.1)",
@@ -560,11 +599,14 @@ def main(argv: list[str] | None = None) -> int:
                 "dataset_cache_size": args.dataset_cache_size,
                 "dataset_format": args.dataset_format,
                 "trace": args.trace,
+                "dynamic_batches": args.dynamic_batches,
+                "dynamic_batch_edges": args.dynamic_batch_edges,
             },
             profile_path=args.profile,
         )
     except ExecutionProfileError as exc:
         raise SystemExit(f"repro-bench: {exc}") from None
+    args.exec_profile = profile
 
     store = _configure_harness(profile)
     try:

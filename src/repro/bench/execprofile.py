@@ -58,6 +58,10 @@ class ExecutionProfile:
       library default).
     * ``dataset_format`` — ``"memory"`` or ``"mmap"`` container format.
     * ``trace`` — trace-export path (``None`` = tracing off).
+    * ``dynamic_batches`` — incremental windows per dynamic-workload
+      stream (``repro-bench dynamic``).
+    * ``dynamic_batch_edges`` — edges per incremental window of the
+      dynamic workload.
     """
 
     jobs: int = 1
@@ -67,6 +71,8 @@ class ExecutionProfile:
     dataset_cache_size: int | None = None
     dataset_format: str = "memory"
     trace: str | None = None
+    dynamic_batches: int = 8
+    dynamic_batch_edges: int = 50
 
     def __post_init__(self) -> None:
         """Validate knob ranges (delayed errors are confusing errors)."""
@@ -88,9 +94,24 @@ class ExecutionProfile:
                 f"dataset-format must be one of {_DATASET_FORMATS}, "
                 f"got {self.dataset_format!r}"
             )
+        if self.dynamic_batches < 1:
+            raise ExecutionProfileError(
+                f"dynamic-batches must be >= 1, got {self.dynamic_batches}"
+            )
+        if self.dynamic_batch_edges < 1:
+            raise ExecutionProfileError(
+                "dynamic-batch-edges must be >= 1, got "
+                f"{self.dynamic_batch_edges}"
+            )
 
 
-_INT_FIELDS = {"jobs", "intra_jobs", "dataset_cache_size"}
+_INT_FIELDS = {
+    "jobs",
+    "intra_jobs",
+    "dataset_cache_size",
+    "dynamic_batches",
+    "dynamic_batch_edges",
+}
 _BOOL_FIELDS = {"no_cache"}
 _FIELD_NAMES = tuple(f.name for f in fields(ExecutionProfile))
 

@@ -6,6 +6,7 @@ representation; everything else in the package analyses or constructs it.
 """
 
 from repro.core.graph import EdgeList, Graph
+from repro.core.delta import DeltaCSR, empty_csr_graph
 from repro.core.builder import (
     complete_graph,
     cycle_graph,
@@ -68,6 +69,8 @@ from repro.core.traversal import (
 __all__ = [
     "EdgeList",
     "Graph",
+    "DeltaCSR",
+    "empty_csr_graph",
     "GraphSummary",
     "CommunityStatistics",
     "COMMUNITY_STATISTIC_NAMES",

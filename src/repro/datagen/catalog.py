@@ -15,6 +15,7 @@ entry for the EXPERIMENTS.md paper-vs-measured comparison.
 from __future__ import annotations
 
 import os
+import re
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Protocol
@@ -44,6 +45,9 @@ __all__ = [
     "get_dataset_format",
     "set_dataset_persistence",
     "DatasetPersistence",
+    "dynamic_dataset_name",
+    "dynamic_stream",
+    "DYNAMIC_DATASET_PREFIX",
 ]
 
 #: Default down-scaling factor from the paper's vertex counts.
@@ -143,6 +147,105 @@ def dataset_names() -> list[str]:
     return list(DATASETS)
 
 
+# ---------------------------------------------------------------------------
+# Dynamic-stream snapshot datasets (the recompute legs of `repro-bench
+# dynamic` run as ordinary benchmark cases through run_cases)
+# ---------------------------------------------------------------------------
+
+#: Names matching ``Dyn-<n>x<batch>@<window>`` resolve to window
+#: ``<window>``'s snapshot of the deterministic dynamic stream over an
+#: ``<n>``-vertex FFT-DG graph with ``<batch>``-edge incremental windows
+#: (bulk-loaded front, :data:`DYNAMIC_BULK_LOAD`).
+DYNAMIC_DATASET_PREFIX = "Dyn-"
+
+#: Fraction of the stream's edges folded into window 0 (the PEval bulk
+#: load); the remaining edges trickle in ``<batch>``-edge windows.
+DYNAMIC_BULK_LOAD = 0.9
+
+#: Stream seed shared by the streaming sessions and these snapshots, so a
+#: session and a ``Dyn-`` case see bit-identical graphs.
+DYNAMIC_STREAM_SEED = 3
+
+_DYNAMIC_NAME = re.compile(r"^Dyn-(\d+)x(\d+)@(\d+)$")
+
+
+def dynamic_dataset_name(
+    num_vertices: int, batch_edges: int, window: int
+) -> str:
+    """The catalog name of one dynamic-stream snapshot."""
+    return f"Dyn-{num_vertices}x{batch_edges}@{window}"
+
+
+@lru_cache(maxsize=4)
+def _dynamic_stream(num_vertices: int, batch_edges: int):
+    from repro.datagen.dynamic import generate_stream
+
+    return generate_stream(
+        num_vertices,
+        edges_per_batch=batch_edges,
+        bulk_load=DYNAMIC_BULK_LOAD,
+        seed=DYNAMIC_STREAM_SEED,
+    )
+
+
+def dynamic_stream(num_vertices: int, batch_edges: int):
+    """The memoized stream behind the ``Dyn-`` snapshot datasets.
+
+    Streaming sessions iterate this stream's batches while their
+    recompute baselines run as ordinary ``Dyn-`` benchmark cases — both
+    sides see bit-identical graphs because they share this object (and
+    its memoized snapshots)."""
+    return _dynamic_stream(num_vertices, batch_edges)
+
+
+def _build_dynamic(name: str) -> DatasetInstance:
+    match = _DYNAMIC_NAME.match(name)
+    if match is None:
+        raise GeneratorParameterError(
+            f"malformed dynamic dataset name {name!r}; expected "
+            "Dyn-<vertices>x<batch_edges>@<window>"
+        )
+    n, batch_edges, window = map(int, match.groups())
+    if n < 1 or batch_edges < 1:
+        raise GeneratorParameterError(
+            f"dynamic dataset {name!r} needs positive vertex and batch "
+            "counts"
+        )
+    stream = _dynamic_stream(n, batch_edges)
+    if window >= len(stream):
+        raise GeneratorParameterError(
+            f"dynamic dataset {name!r}: window {window} out of range "
+            f"[0, {len(stream)})"
+        )
+    graph = stream.snapshot(window)
+    density = (
+        2.0 * graph.num_edges / (n * (n - 1)) if n > 1 else 0.0
+    )
+    spec = DatasetSpec(
+        name=name,
+        scale="dyn",
+        variant="Stream",
+        paper_vertices=n,
+        paper_edges=graph.num_edges,
+        paper_density=density,
+        paper_diameter=0,
+        alpha=20.0,
+    )
+    result = GenerationResult(
+        graph=graph,
+        counter=TrialCounter(),
+        elapsed_seconds=0.0,
+        parameters={
+            "window": window,
+            "batch_edges": batch_edges,
+            "bulk_load": DYNAMIC_BULK_LOAD,
+        },
+    )
+    return DatasetInstance(
+        spec=spec, result=result, scale_divisor=1, seed=DYNAMIC_STREAM_SEED
+    )
+
+
 class DatasetPersistence(Protocol):
     """What the catalog needs from a persistent dataset layer.
 
@@ -238,6 +341,11 @@ def build_dataset(
     tracing is enabled, in-process hits and misses surface as the
     ``dataset_cache_hits`` / ``dataset_cache_misses`` counters.
     """
+    if name.startswith(DYNAMIC_DATASET_PREFIX):
+        # Dynamic-stream snapshots: served from the stream's own memoized
+        # DeltaCSR cursor (scale/degree divisors and container format do
+        # not apply — the stream defines the graph exactly).
+        return _build_dynamic(name)
     if name not in DATASETS:
         raise GeneratorParameterError(
             f"unknown dataset {name!r}; choose from {dataset_names()}"
@@ -426,3 +534,4 @@ def dataset_cache_info():
 def clear_dataset_cache() -> None:
     """Drop all memoized datasets (tests use this for isolation)."""
     _build_cached.cache_clear()
+    _dynamic_stream.cache_clear()

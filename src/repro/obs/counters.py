@@ -51,6 +51,9 @@ __all__ = [
     "SERVICE_DEDUP_HITS",
     "SERVICE_REJECTED",
     "SERVICE_CASES_DONE",
+    "DELTA_EDGES_APPLIED",
+    "DELTA_FRONTIER_VERTICES",
+    "STREAM_WINDOWS",
     "CounterRegistry",
     "note_superstep",
 ]
@@ -126,6 +129,14 @@ SERVICE_DEDUP_HITS = "service_dedup_hits"
 SERVICE_REJECTED = "service_rejected"
 #: Service cases completed (served from memo, store, dedup, or executed).
 SERVICE_CASES_DONE = "service_cases_done"
+#: Genuinely-new undirected edges folded into a ``DeltaCSR`` overlay by
+#: streaming ``apply_batch`` calls (duplicates and self-loops excluded).
+DELTA_EDGES_APPLIED = "delta_edges_applied"
+#: Vertices in the delta-activated frontier handed to IncEval across
+#: stream windows (``repro.platforms.vertex_centric.streaming``).
+DELTA_FRONTIER_VERTICES = "delta_frontier_vertices"
+#: Stream windows processed by a PEval/IncEval streaming session.
+STREAM_WINDOWS = "stream_windows"
 
 #: The unified counter vocabulary: name -> one-line definition naming the
 #: subsystem that previously owned the quantity.
@@ -226,6 +237,18 @@ VOCABULARY: dict[str, str] = {
     SERVICE_CASES_DONE: (
         "Service cases completed, whatever layer served them "
         "(repro.service.BenchmarkService)."
+    ),
+    DELTA_EDGES_APPLIED: (
+        "Genuinely-new undirected edges folded into a DeltaCSR overlay "
+        "(repro.core.delta.DeltaCSR.apply_batch)."
+    ),
+    DELTA_FRONTIER_VERTICES: (
+        "Delta-activated frontier vertices handed to IncEval "
+        "(repro.platforms.vertex_centric.streaming)."
+    ),
+    STREAM_WINDOWS: (
+        "Stream windows processed by a PEval/IncEval streaming session "
+        "(repro.platforms.vertex_centric.streaming)."
     ),
 }
 

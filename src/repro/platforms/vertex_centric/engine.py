@@ -555,6 +555,52 @@ class VertexCentricEngine:
                 return self._run_bulk(program, max_supersteps)
             return self._run_scalar(program, max_supersteps, scripted)
 
+    def run_incremental(
+        self,
+        program: BulkVertexProgram,
+        *,
+        active: np.ndarray | None = None,
+        inbox: "BulkInbox | None" = None,
+        start_superstep: int = 0,
+        setup: bool = False,
+        max_supersteps: int = 100000,
+    ) -> VertexProgram:
+        """IncEval entry point: resume a bulk program from carried state.
+
+        PEval is an ordinary :meth:`run`; after an edge batch the
+        streaming session re-enters here with the delta-activated
+        frontier (``active``) and/or a seeded ``inbox`` of boundary
+        messages, skipping ``setup`` by default so program state (ranks,
+        distances, labels) carries over from the previous window.  An
+        empty seed quiesces before the first superstep, so an
+        all-duplicate batch prices as zero supersteps.  Always runs
+        in-process on the bulk path — warm state is per-process, so the
+        sharded path is never taken.
+        """
+        if not isinstance(program, BulkVertexProgram):
+            raise PlatformError(
+                f"{type(program).__name__} has no bulk-frontier path; "
+                "incremental execution needs compute_bulk"
+            )
+        self.last_path = "bulk"
+        seed = (
+            np.empty(0, dtype=np.int64) if active is None
+            else np.asarray(active, dtype=np.int64)
+        )
+        with get_tracer().span(
+            f"vertex-centric/{type(program).__name__}",
+            category="engine",
+            path="bulk-incremental",
+        ):
+            return self._run_bulk(
+                program,
+                max_supersteps,
+                setup=setup,
+                initial_active=seed,
+                initial_inbox=inbox,
+                start_superstep=start_superstep,
+            )
+
     def _shard_jobs(self, program: VertexProgram, scripted) -> int:
         """Shard count for this run: >1 only when the program declares
         ``shard_safe``, nothing forces superstep-global state (scripts,
@@ -762,14 +808,22 @@ class VertexCentricEngine:
     # ------------------------------------------------------------------
 
     def _run_bulk(
-        self, program: BulkVertexProgram, max_supersteps: int
+        self,
+        program: BulkVertexProgram,
+        max_supersteps: int,
+        *,
+        setup: bool = True,
+        initial_active: np.ndarray | None = None,
+        initial_inbox: "BulkInbox | None" = None,
+        start_superstep: int = 0,
     ) -> VertexProgram:
         graph, rec, profile = self.graph, self.recorder, self.profile
         tracer = get_tracer()
         parts = rec.parts
         part = self._part
         n = graph.num_vertices
-        program.setup(graph)
+        if setup:
+            program.setup(graph)
 
         combining = profile.combiner and program.combine is not None
         if combining and program.bulk_combine not in ("sum", "min"):
@@ -780,11 +834,14 @@ class VertexCentricEngine:
             )
 
         ctx = BulkVertexContext(graph, part, parts, program.message_bytes)
-        active = np.unique(np.fromiter(
-            (int(v) for v in program.initial_frontier(graph)),
-            dtype=np.int64,
-        ))
-        inbox = BulkInbox(n)
+        if initial_active is None:
+            active = np.unique(np.fromiter(
+                (int(v) for v in program.initial_frontier(graph)),
+                dtype=np.int64,
+            ))
+        else:
+            active = np.unique(np.asarray(initial_active, dtype=np.int64))
+        inbox = BulkInbox(n) if initial_inbox is None else initial_inbox
         dense_threshold = max(1, n // 20)
         hook = (
             getattr(program, "before_superstep", None)
@@ -798,7 +855,7 @@ class VertexCentricEngine:
 
             faults.start_section(_capture)
         try:
-            superstep = 0
+            superstep = start_superstep
             while superstep < max_supersteps:
                 if faults is not None:
                     faults.checkpoint_if_due(superstep)

@@ -53,9 +53,11 @@ def test_ablations_command(capsys, tmp_path, monkeypatch):
 
 def test_dynamic_command(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_OUT", str(tmp_path))
-    assert main(["dynamic"]) == 0
+    assert main(["dynamic", "--dynamic-batches", "2"]) == 0
     out = capsys.readouterr().out
-    assert "Incremental" in out
+    assert "IncEval" in out
+    assert "Bit-identical" in out
+    assert (tmp_path / "dynamic_workload.txt").exists()
 
 
 def test_cache_dir_prints_stats_line(capsys, tmp_path, monkeypatch):

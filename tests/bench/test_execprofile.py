@@ -63,6 +63,8 @@ class TestValidation:
         {"intra_jobs": 0},
         {"dataset_cache_size": -1},
         {"dataset_format": "floppy"},
+        {"dynamic_batches": 0},
+        {"dynamic_batch_edges": 0},
     ])
     def test_bad_values_rejected(self, kwargs):
         with pytest.raises(ExecutionProfileError):
@@ -76,6 +78,16 @@ class TestValidation:
         assert profile.no_cache is False
         assert profile.dataset_format == "memory"
         assert profile.trace is None
+        assert profile.dynamic_batches == 8
+        assert profile.dynamic_batch_edges == 50
+
+    def test_dynamic_knobs_resolve_from_env(self):
+        profile = resolve_profile(env={
+            "REPRO_DYNAMIC_BATCHES": "3",
+            "REPRO_DYNAMIC_BATCH_EDGES": "25",
+        })
+        assert profile.dynamic_batches == 3
+        assert profile.dynamic_batch_edges == 25
 
 
 class TestPrecedence:

@@ -1,0 +1,141 @@
+"""Tests for the DeltaCSR edge-insertion overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaCSR, empty_csr_graph
+from repro.core.graph import Graph
+from repro.datagen.fft import FFTDG, FFTDGConfig
+from repro.errors import GraphFormatError
+
+
+def _fft_graph(n=120, seed=4):
+    return FFTDG(FFTDGConfig(num_vertices=n, alpha=20.0, seed=seed)).generate().graph
+
+
+class TestConstruction:
+    def test_needs_base_or_size(self):
+        with pytest.raises(GraphFormatError):
+            DeltaCSR()
+
+    def test_empty_base(self):
+        cursor = DeltaCSR(num_vertices=5)
+        assert cursor.num_vertices == 5
+        assert cursor.num_edges == 0
+        assert cursor.materialize().num_edges == 0
+
+    def test_rejects_directed_base(self):
+        g = Graph.from_edges(np.array([0]), np.array([1]), num_vertices=3, directed=True)
+        with pytest.raises(GraphFormatError):
+            DeltaCSR(g)
+
+    def test_empty_csr_graph_shape(self):
+        g = empty_csr_graph(7)
+        assert g.num_vertices == 7
+        assert g.num_edges == 0
+        assert not g.directed
+
+
+class TestApplyBatch:
+    def test_matches_from_edges(self):
+        cursor = DeltaCSR(num_vertices=6)
+        src = np.array([0, 1, 2, 4])
+        dst = np.array([1, 2, 3, 5])
+        frontier = cursor.apply_batch(src, dst)
+        expected = Graph.from_edges(src, dst, num_vertices=6, directed=False)
+        got = cursor.materialize()
+        assert np.array_equal(got.indptr, expected.indptr)
+        assert np.array_equal(got.indices, expected.indices)
+        assert np.array_equal(frontier, np.unique(np.concatenate([src, dst])))
+
+    def test_duplicates_and_self_loops_dropped(self):
+        cursor = DeltaCSR(num_vertices=4)
+        cursor.apply_batch(np.array([0]), np.array([1]))
+        frontier = cursor.apply_batch(
+            np.array([1, 0, 2, 2]), np.array([0, 1, 2, 2])
+        )
+        assert frontier.size == 0
+        assert cursor.num_edges == 1
+        assert cursor.last_applied[0].size == 0
+
+    def test_empty_batch(self):
+        cursor = DeltaCSR(num_vertices=3)
+        frontier = cursor.apply_batch(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert frontier.size == 0
+        assert cursor.last_applied[0].size == 0
+
+    def test_rejects_out_of_range(self):
+        cursor = DeltaCSR(num_vertices=3)
+        with pytest.raises(GraphFormatError):
+            cursor.apply_batch(np.array([0]), np.array([3]))
+        with pytest.raises(GraphFormatError):
+            cursor.apply_batch(np.array([-1]), np.array([1]))
+
+    def test_rejects_shape_mismatch(self):
+        cursor = DeltaCSR(num_vertices=3)
+        with pytest.raises(GraphFormatError):
+            cursor.apply_batch(np.array([0, 1]), np.array([1]))
+
+    def test_last_applied_canonical(self):
+        cursor = DeltaCSR(num_vertices=5)
+        cursor.apply_batch(np.array([3, 1]), np.array([0, 4]))
+        a, b = cursor.last_applied
+        assert np.array_equal(a, np.minimum(a, b))
+        assert set(zip(a.tolist(), b.tolist())) == {(0, 3), (1, 4)}
+
+
+class TestOverlayViews:
+    def test_neighbors_and_has_edge_merge_base_and_delta(self):
+        base = Graph.from_edges(np.array([0]), np.array([1]),
+                                num_vertices=5, directed=False)
+        cursor = DeltaCSR(base)
+        cursor.apply_batch(np.array([0, 2]), np.array([3, 4]))
+        assert np.array_equal(cursor.neighbors(0), np.array([1, 3]))
+        assert cursor.has_edge(0, 1) and cursor.has_edge(3, 0)
+        assert cursor.has_edge(2, 4) and not cursor.has_edge(1, 2)
+        assert np.array_equal(
+            cursor.degrees(), np.array([2, 1, 1, 1, 1])
+        )
+
+    def test_base_untouched(self):
+        base = Graph.from_edges(np.array([0]), np.array([1]),
+                                num_vertices=4, directed=False)
+        indptr_before = base.indptr.copy()
+        cursor = DeltaCSR(base)
+        cursor.apply_batch(np.array([2]), np.array([3]))
+        cursor.materialize()
+        assert np.array_equal(base.indptr, indptr_before)
+        assert base.num_edges == 1
+
+
+class TestRebase:
+    def test_stream_replay_matches_full_rebuild(self):
+        graph = _fft_graph()
+        src, dst, _ = graph.edge_arrays()
+        rng = np.random.default_rng(0)
+        order = rng.permutation(src.size)
+        src, dst = src[order], dst[order]
+        cursor = DeltaCSR(num_vertices=graph.num_vertices)
+        bounds = np.linspace(0, src.size, 6).astype(np.int64)
+        for t in range(5):
+            cursor.apply_batch(src[bounds[t]:bounds[t + 1]],
+                               dst[bounds[t]:bounds[t + 1]])
+            snap = cursor.rebase()
+            expected = Graph.from_edges(
+                src[:bounds[t + 1]], dst[:bounds[t + 1]],
+                num_vertices=graph.num_vertices,
+                directed=False,
+            )
+            assert np.array_equal(snap.indptr, expected.indptr), f"window {t}"
+            assert np.array_equal(snap.indices, expected.indices)
+            assert cursor.delta_edges == 0
+
+    def test_total_applied_survives_rebase(self):
+        cursor = DeltaCSR(num_vertices=4)
+        cursor.apply_batch(np.array([0]), np.array([1]))
+        cursor.rebase()
+        cursor.apply_batch(np.array([2]), np.array([3]))
+        assert cursor.total_applied == 2
+        assert cursor.num_edges == 2

@@ -40,6 +40,7 @@ REQUIRED_PAGES = (
     "docs/architecture.md",
     "docs/benchmarking.md",
     "docs/data-generators.md",
+    "docs/dynamic.md",
     "docs/scaling.md",
     "docs/service.md",
 )
